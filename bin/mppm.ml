@@ -1,0 +1,306 @@
+(* The mppm command-line tool.
+
+   Subcommands:
+     suite                list the synthetic benchmark suite
+     profile              run single-core profiling for benchmarks
+     predict              MPPM-predict a mix from profiles
+     simulate             detailed multi-core simulation of a mix
+     compare              predict + simulate + error report for a mix
+     population           combinatorics of the mix population
+     rank-configs         rank the six LLC configs with MPPM
+
+   Every subcommand shares the scale/seed/cache options, so a profile
+   computed once (or by the bench harness) is reused everywhere. *)
+
+module Suite = Mppm_trace.Suite
+module Benchmark = Mppm_trace.Benchmark
+module Profile = Mppm_profile.Profile
+module Model = Mppm_core.Model
+module Metrics = Mppm_core.Metrics
+module Mix = Mppm_workload.Mix
+module Sampler = Mppm_workload.Sampler
+open Mppm_experiments
+
+let std = Format.std_formatter
+
+(* ---- shared options ------------------------------------------------ *)
+
+type common = { ctx : Context.t; llc_config : int }
+
+let make_common trace seed cache_dir llc_config =
+  { ctx = Context.create ~seed ~cache_dir (Scale.of_trace trace); llc_config }
+
+open Cmdliner
+
+let common_term =
+  let trace =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "trace" ] ~doc:"Trace length in instructions.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master random seed.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "_profile_cache"
+      & info [ "cache" ] ~doc:"Profile cache directory.")
+  in
+  let llc_config =
+    Arg.(
+      value & opt int 1
+      & info [ "config" ] ~doc:"LLC configuration, 1..6 (Table 2).")
+  in
+  Term.(const make_common $ trace $ seed $ cache_dir $ llc_config)
+
+let mix_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"BENCHMARK"
+        ~doc:"Benchmark names forming the mix (repeat a name for copies).")
+
+(* ---- suite --------------------------------------------------------- *)
+
+let suite_cmd =
+  let run () =
+    Array.iter
+      (fun b -> Format.fprintf std "%a@." Benchmark.pp b)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the synthetic benchmark suite.")
+    Term.(const run $ const ())
+
+(* ---- profile ------------------------------------------------------- *)
+
+let profile_cmd =
+  let run common names =
+    let names = if names = [ "all" ] then Array.to_list Suite.names else names in
+    List.iter
+      (fun name ->
+        let index = Suite.index name in
+        let p = Context.profile common.ctx ~llc_config:common.llc_config index in
+        Format.fprintf std "%a@." Profile.pp_summary p)
+      names
+  in
+  let names =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark names, or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run (or load) single-core profiling and print a summary.")
+    Term.(const run $ common_term $ names)
+
+(* ---- predict / simulate / compare ----------------------------------- *)
+
+let pp_predicted result =
+  Format.fprintf std "MPPM prediction (%d iterations):@."
+    result.Model.iterations;
+  Array.iter
+    (fun p ->
+      Format.fprintf std
+        "  %-12s slowdown %5.3f  CPI %6.3f -> %6.3f@." p.Model.name
+        p.Model.slowdown p.Model.cpi_single p.Model.cpi_multi)
+    result.Model.programs;
+  Format.fprintf std "  STP %.3f   ANTT %.3f@." result.Model.stp
+    result.Model.antt
+
+let predict_cmd =
+  let run common names =
+    let mix = Mix.of_names (Array.of_list names) in
+    pp_predicted (Context.predict common.ctx ~llc_config:common.llc_config mix)
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict a mix's multi-core performance with MPPM.")
+    Term.(const run $ common_term $ mix_arg)
+
+let pp_measured (m : Context.measured) =
+  Format.fprintf std "detailed simulation:@.";
+  Array.iteri
+    (fun i p ->
+      Format.fprintf std "  %-12s slowdown %5.3f  CPI %6.3f -> %6.3f@."
+        p.Mppm_multicore.Multi_core.name m.Context.m_slowdowns.(i)
+        m.Context.m_cpi_single.(i) m.Context.m_cpi_multi.(i))
+    m.Context.m_detail.Mppm_multicore.Multi_core.programs;
+  Format.fprintf std "  STP %.3f   ANTT %.3f@." m.Context.m_stp
+    m.Context.m_antt
+
+let simulate_cmd =
+  let run common names =
+    let mix = Mix.of_names (Array.of_list names) in
+    pp_measured (Context.detailed common.ctx ~llc_config:common.llc_config mix)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the detailed multi-core simulator on a mix.")
+    Term.(const run $ common_term $ mix_arg)
+
+let compare_cmd =
+  let run common names =
+    let mix = Mix.of_names (Array.of_list names) in
+    let predicted = Context.predict common.ctx ~llc_config:common.llc_config mix in
+    let measured = Context.detailed common.ctx ~llc_config:common.llc_config mix in
+    pp_predicted predicted;
+    pp_measured measured;
+    let err p m = 100.0 *. abs_float (p -. m) /. m in
+    Format.fprintf std "errors: STP %.1f%%  ANTT %.1f%%@."
+      (err predicted.Model.stp measured.Context.m_stp)
+      (err predicted.Model.antt measured.Context.m_antt)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Predict and simulate a mix; report the prediction error.")
+    Term.(const run $ common_term $ mix_arg)
+
+(* ---- population ------------------------------------------------------ *)
+
+let population_cmd =
+  let run cores =
+    List.iter
+      (fun m ->
+        Format.fprintf std "%2d cores: %.0f mixes@." m (Mix.population ~cores:m))
+      cores
+  in
+  let cores =
+    Arg.(value & pos_all int [ 2; 4; 8; 16 ] & info [] ~docv:"CORES")
+  in
+  Cmd.v
+    (Cmd.info "population"
+       ~doc:"Count the multi-program workload population (Sec. 1).")
+    Term.(const run $ cores)
+
+(* ---- rank-configs ----------------------------------------------------- *)
+
+let rank_cmd =
+  let run common cores count =
+    let rng = Context.rng common.ctx "cli-rank" in
+    let mixes = Sampler.random_mixes rng ~cores ~count in
+    Format.fprintf std
+      "ranking LLC configs by mean MPPM-predicted STP over %d %d-core mixes@."
+      count cores;
+    let means =
+      Array.map
+        (fun cfg ->
+          let stps =
+            Array.map
+              (fun mix -> (Context.predict common.ctx ~llc_config:cfg mix).Model.stp)
+              mixes
+          in
+          (cfg, Mppm_util.Stats.mean stps))
+        (Array.init Mppm_cache.Configs.llc_config_count (fun i -> i + 1))
+    in
+    let order = Array.copy means in
+    Array.sort (fun (_, a) (_, b) -> compare b a) order;
+    Array.iteri
+      (fun rank (cfg, stp) ->
+        Format.fprintf std "  %d. config #%d  mean STP %.3f@." (rank + 1) cfg
+          stp)
+      order
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Programs per mix.")
+  in
+  let count =
+    Arg.(value & opt int 500 & info [ "mixes" ] ~doc:"Number of mixes.")
+  in
+  Cmd.v
+    (Cmd.info "rank-configs"
+       ~doc:"Rank the Table 2 LLC configurations with MPPM.")
+    Term.(const run $ common_term $ cores $ count)
+
+(* ---- categories -------------------------------------------------------- *)
+
+let categories_cmd =
+  let run common =
+    let profiles = Context.all_profiles common.ctx ~llc_config:common.llc_config in
+    let classes = Mppm_workload.Category.classify_profiles profiles in
+    Array.iteri
+      (fun i p ->
+        Format.fprintf std "%-12s %a  mem-CPI fraction %4.0f%%  (CPI %.3f)@."
+          Suite.names.(i) Mppm_workload.Category.pp classes.(i)
+          (100.0 *. Profile.memory_cpi_fraction p)
+          (Profile.cpi p))
+      profiles;
+    let mem, comp = Mppm_workload.Category.partition classes in
+    Format.fprintf std "@.%d MEM, %d COMP@." (Array.length mem)
+      (Array.length comp)
+  in
+  Cmd.v
+    (Cmd.info "categories"
+       ~doc:"Classify the suite into MEM/COMP benchmark categories (Sec. 5).")
+    Term.(const run $ common_term)
+
+(* ---- traces -------------------------------------------------------------- *)
+
+let trace_record_cmd =
+  let run name path accesses seed =
+    let generator =
+      Mppm_trace.Generator.create ~seed (Suite.find name)
+    in
+    let meta =
+      Mppm_trace.Trace_file.record ~path ~generator ~accesses ()
+    in
+    Format.fprintf std "recorded %d references (%d instructions) of %s to %s@."
+      meta.Mppm_trace.Trace_file.accesses
+      meta.Mppm_trace.Trace_file.instructions
+      meta.Mppm_trace.Trace_file.benchmark path
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let path = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let accesses =
+    Arg.(
+      value & opt int 100_000
+      & info [ "accesses" ] ~doc:"References to record.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "trace-record"
+       ~doc:"Record a benchmark's memory-reference trace to a file.")
+    Term.(const run $ bench_arg $ path $ accesses $ seed)
+
+let trace_stats_cmd =
+  let run path size_kb assoc =
+    let geometry =
+      Mppm_cache.Geometry.make
+        ~size_bytes:(Mppm_cache.Geometry.kib size_kb)
+        ~line_bytes:64 ~associativity:assoc
+    in
+    let meta = Mppm_trace.Trace_file.read_meta path in
+    let sdc = Mppm_trace.Trace_file.replay_sdc path ~geometry in
+    Format.fprintf std "%s: %d references of %s@." path
+      meta.Mppm_trace.Trace_file.accesses
+      meta.Mppm_trace.Trace_file.benchmark;
+    Format.fprintf std "on %a: miss rate %.2f%%@." Mppm_cache.Geometry.pp
+      geometry
+      (100.0 *. Mppm_cache.Sdc.miss_rate sdc);
+    Format.fprintf std "%a@." Mppm_cache.Sdc.pp sdc
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let size_kb =
+    Arg.(value & opt int 512 & info [ "size" ] ~doc:"Cache size in KB.")
+  in
+  let assoc =
+    Arg.(value & opt int 8 & info [ "assoc" ] ~doc:"Cache associativity.")
+  in
+  Cmd.v
+    (Cmd.info "trace-stats"
+       ~doc:"Replay a recorded trace through a cache and print its SDC.")
+    Term.(const run $ path $ size_kb $ assoc)
+
+(* ---- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "The Multi-Program Performance Model (IISWC 2011) toolkit." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "mppm" ~doc)
+          [
+            suite_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
+            population_cmd; rank_cmd; categories_cmd; trace_record_cmd;
+            trace_stats_cmd;
+          ]))

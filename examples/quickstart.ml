@@ -1,0 +1,80 @@
+(* Quickstart: profile four benchmarks, predict a quad-core mix with MPPM,
+   and check the prediction against detailed simulation.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Suite = Mppm_trace.Suite
+module Configs = Mppm_cache.Configs
+module Single_core = Mppm_simcore.Single_core
+module Multi_core = Mppm_multicore.Multi_core
+module Profile = Mppm_profile.Profile
+module Model = Mppm_core.Model
+module Metrics = Mppm_core.Metrics
+
+let () =
+  (* 1. The machine: Table 1 hierarchy with the 512KB 8-way shared LLC. *)
+  let hierarchy = Configs.baseline () in
+
+  (* 2. One-time cost: single-core profiling of each benchmark in the mix.
+     Intervals of trace/50 instructions capture time-varying behaviour. *)
+  let trace = 2_000_000 in
+  let interval = trace / 50 in
+  let names = [| "gamess"; "gamess"; "hmmer"; "soplex" |] in
+  Printf.printf "profiling %d benchmarks (one-time cost)...\n%!"
+    (Array.length names);
+  let profiles =
+    Array.map
+      (fun name ->
+        let p =
+          Single_core.profile
+            (Single_core.config hierarchy)
+            ~benchmark:(Suite.find name) ~seed:(Suite.seed_for name)
+            ~trace_instructions:trace ~interval_instructions:interval
+        in
+        Format.printf "  %a@." Profile.pp_summary p;
+        p)
+      names
+  in
+
+  (* 3. MPPM: the analytical model predicts the mix in well under a
+     second. *)
+  let params = Model.default_params ~trace_instructions:trace in
+  let predicted = Model.predict_profiles params profiles in
+  Printf.printf "\nMPPM prediction (%d iterations of the Fig. 2 loop):\n"
+    predicted.Model.iterations;
+  Array.iter
+    (fun p ->
+      Printf.printf "  %-10s slowdown %.3f (CPI %.3f -> %.3f)\n" p.Model.name
+        p.Model.slowdown p.Model.cpi_single p.Model.cpi_multi)
+    predicted.Model.programs;
+  Printf.printf "  STP = %.3f, ANTT = %.3f\n%!" predicted.Model.stp
+    predicted.Model.antt;
+
+  (* 4. The expensive way: detailed multi-core simulation of the same mix
+     (the reference MPPM is meant to replace). *)
+  Printf.printf "\nrunning detailed simulation for comparison...\n%!";
+  let offsets = Multi_core.default_offsets (Array.length names) in
+  let detailed =
+    Multi_core.run
+      (Multi_core.config hierarchy)
+      ~programs:
+        (Array.mapi
+           (fun i name ->
+             {
+               Multi_core.benchmark = Suite.find name;
+               seed = Suite.seed_for name;
+               offset = offsets.(i);
+             })
+           names)
+      ~trace_instructions:trace
+  in
+  let cpi_single = Array.map Profile.cpi profiles in
+  let cpi_multi =
+    Array.map (fun p -> p.Multi_core.multicore_cpi) detailed.Multi_core.programs
+  in
+  let stp = Metrics.stp ~cpi_single ~cpi_multi in
+  let antt = Metrics.antt ~cpi_single ~cpi_multi in
+  Printf.printf "  measured STP = %.3f, ANTT = %.3f\n" stp antt;
+  Printf.printf "\nprediction error: STP %.1f%%, ANTT %.1f%%\n"
+    (100.0 *. abs_float (predicted.Model.stp -. stp) /. stp)
+    (100.0 *. abs_float (predicted.Model.antt -. antt) /. antt)

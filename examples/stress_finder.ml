@@ -1,0 +1,65 @@
+(* Stress-workload identification (Sec. 6): sweep a large population of
+   mixes with MPPM, surface the worst-STP workloads, then confirm the top
+   few with detailed simulation.
+
+   Run with:  dune exec examples/stress_finder.exe *)
+
+module Model = Mppm_core.Model
+module Mix = Mppm_workload.Mix
+module Sampler = Mppm_workload.Sampler
+open Mppm_experiments
+
+let population = 600
+let cores = 4
+let confirm = 5
+
+let () =
+  let ctx = Context.create ~cache_dir:"_profile_cache" Scale.default in
+  let rng = Context.rng ctx "stress-finder" in
+  let mixes = Sampler.distinct_random_mixes rng ~cores ~count:population in
+  Printf.printf "MPPM-screening %d distinct %d-core mixes for stress...\n%!"
+    population cores;
+  let scored =
+    Array.map
+      (fun mix -> (mix, Context.predict ctx ~llc_config:1 mix))
+      mixes
+  in
+  Array.sort
+    (fun (_, a) (_, b) -> compare a.Model.stp b.Model.stp)
+    scored;
+  Printf.printf "\npredicted worst mixes (lowest STP):\n";
+  Array.iteri
+    (fun i (mix, r) ->
+      if i < 10 then
+        Printf.printf "  %2d. %-44s STP %.3f ANTT %.3f\n" (i + 1)
+          (Mix.to_string mix) r.Model.stp r.Model.antt)
+    scored;
+  (* Count how often each benchmark appears in the worst decile: the
+     paper's Sec. 6 analysis identifying gamess as the sensitive one. *)
+  let decile = population / 10 in
+  let counts = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (mix, _) ->
+      if i < decile then
+        Array.iter
+          (fun name ->
+            Hashtbl.replace counts name
+              (1 + Option.value (Hashtbl.find_opt counts name) ~default:0))
+          (Mix.names mix))
+    scored;
+  Printf.printf "\nbenchmarks over-represented in the worst decile:\n";
+  Hashtbl.fold (fun name c acc -> (c, name) :: acc) counts []
+  |> List.sort compare |> List.rev
+  |> List.iteri (fun i (c, name) ->
+         if i < 6 then Printf.printf "  %-12s %d appearances\n" name c);
+  (* Confirm the top few with detailed simulation. *)
+  Printf.printf "\nconfirming the %d worst with detailed simulation:\n%!"
+    confirm;
+  Array.iteri
+    (fun i (mix, predicted) ->
+      if i < confirm then begin
+        let measured = Context.detailed ctx ~llc_config:1 mix in
+        Printf.printf "  %-44s predicted STP %.3f, measured %.3f\n%!"
+          (Mix.to_string mix) predicted.Model.stp measured.Context.m_stp
+      end)
+    scored

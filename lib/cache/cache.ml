@@ -1,0 +1,233 @@
+type outcome = Hit of int | Miss
+
+(* Each set stores tags in recency order: index 0 is MRU.  [fill] tracks how
+   many ways of the set are valid; valid tags occupy the prefix.  For FIFO,
+   [age_order] tracks tags in insertion order so hits do not disturb the
+   victim cursor.  For partitioned caches, [owners] mirrors [recency] with
+   the inserting owner of every line. *)
+type t = {
+  geometry : Geometry.t;
+  policy : Replacement.t;
+  recency : int array array;  (* per-set tags in recency order (MRU first) *)
+  fill : int array;  (* valid ways per set *)
+  age_order : int array array option;  (* FIFO: tags in insertion order *)
+  rng : Mppm_util.Rng.t option;  (* Random policy only *)
+  partition : int array option;  (* way quotas per owner *)
+  owners : int array array option;  (* per-set owners, parallel to recency *)
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let invalid_tag = -1
+
+let create ?(policy = Replacement.Lru) ?partition geometry =
+  let sets = geometry.Geometry.num_sets in
+  let ways = geometry.Geometry.associativity in
+  let make_tags () = Array.init sets (fun _ -> Array.make ways invalid_tag) in
+  (match partition with
+  | None -> ()
+  | Some quotas ->
+      if policy <> Replacement.Lru then
+        invalid_arg "Cache.create: partitioning requires the LRU policy";
+      if Array.length quotas = 0 then invalid_arg "Cache.create: empty partition";
+      Array.iter
+        (fun q -> if q <= 0 then invalid_arg "Cache.create: non-positive quota")
+        quotas;
+      if Array.fold_left ( + ) 0 quotas > ways then
+        invalid_arg "Cache.create: quotas exceed associativity");
+  {
+    geometry;
+    policy;
+    recency = make_tags ();
+    fill = Array.make sets 0;
+    age_order =
+      (match policy with Replacement.Fifo -> Some (make_tags ()) | _ -> None);
+    rng =
+      (match policy with
+      | Replacement.Random seed -> Some (Mppm_util.Rng.create ~seed)
+      | _ -> None);
+    partition = Option.map Array.copy partition;
+    owners = (match partition with Some _ -> Some (make_tags ()) | None -> None);
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let geometry t = t.geometry
+let policy t = t.policy
+let partition t = Option.map Array.copy t.partition
+
+let find_in_set set fill tag =
+  let rec scan i =
+    if i >= fill then None else if set.(i) = tag then Some i else scan (i + 1)
+  in
+  scan 0
+
+(* Shift a.(0..len-1) down one slot and place [v] at the front.  A manual
+   loop beats Array.blit at these sizes (<= 16 elements) and this is the
+   simulator's innermost operation. *)
+let shift_down_and_front a len v =
+  for i = len - 1 downto 1 do
+    a.(i) <- a.(i - 1)
+  done;
+  a.(0) <- v
+
+(* Choose the victim recency position for a partitioned set: an owner at or
+   above quota evicts its own LRU line; otherwise the LRU line of any
+   over-quota owner; otherwise the global LRU line (preferring other
+   owners' lines). *)
+let partition_victim owners_row ways quotas owner =
+  let n_owners = Array.length quotas in
+  let counts = Array.make n_owners 0 in
+  for i = 0 to ways - 1 do
+    let o = owners_row.(i) in
+    if o >= 0 && o < n_owners then counts.(o) <- counts.(o) + 1
+  done;
+  let deepest_of pred =
+    let rec scan i =
+      if i < 0 then None else if pred owners_row.(i) then Some i else scan (i - 1)
+    in
+    scan (ways - 1)
+  in
+  if counts.(owner) >= quotas.(owner) && counts.(owner) > 0 then
+    match deepest_of (fun o -> o = owner) with
+    | Some pos -> pos
+    | None -> ways - 1
+  else
+    match
+      deepest_of (fun o -> o >= 0 && o < n_owners && counts.(o) > quotas.(o))
+    with
+    | Some pos -> pos
+    | None -> (
+        match deepest_of (fun o -> o <> owner) with
+        | Some pos -> pos
+        | None -> ways - 1)
+
+let access_as t ~owner addr =
+  let set_idx = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag t.geometry addr in
+  let set = t.recency.(set_idx) in
+  let fill = t.fill.(set_idx) in
+  t.accesses <- t.accesses + 1;
+  (match t.partition with
+  | Some quotas ->
+      if owner < 0 || owner >= Array.length quotas then
+        invalid_arg "Cache.access_as: owner outside the partition"
+  | None -> ());
+  match find_in_set set fill tag with
+  | Some pos ->
+      t.hits <- t.hits + 1;
+      let tag = set.(pos) in
+      shift_down_and_front set (pos + 1) tag;
+      (match t.owners with
+      | Some owners ->
+          let row = owners.(set_idx) in
+          let o = row.(pos) in
+          shift_down_and_front row (pos + 1) o
+      | None -> ());
+      Hit (pos + 1)
+  | None ->
+      t.misses <- t.misses + 1;
+      let ways = t.geometry.Geometry.associativity in
+      if fill < ways then begin
+        (* Grow the valid prefix: shift it down, new tag in front. *)
+        shift_down_and_front set (fill + 1) tag;
+        t.fill.(set_idx) <- fill + 1;
+        (match t.owners with
+        | Some owners -> shift_down_and_front owners.(set_idx) (fill + 1) owner
+        | None -> ());
+        (match t.age_order with
+        | Some ages -> ages.(set_idx).(fill) <- tag
+        | None -> ());
+        Miss
+      end
+      else begin
+        let insert victim_pos =
+          shift_down_and_front set (victim_pos + 1) tag;
+          match t.owners with
+          | Some owners ->
+              shift_down_and_front owners.(set_idx) (victim_pos + 1) owner
+          | None -> ()
+        in
+        (match (t.partition, t.policy) with
+        | Some quotas, _ ->
+            let owners_row =
+              match t.owners with Some o -> o.(set_idx) | None -> assert false
+            in
+            insert (partition_victim owners_row ways quotas owner)
+        | None, Replacement.Lru -> insert (ways - 1)
+        | None, Replacement.Random _ ->
+            let rng = match t.rng with Some r -> r | None -> assert false in
+            insert (Mppm_util.Rng.int rng ways)
+        | None, Replacement.Fifo ->
+            let ages =
+              match t.age_order with Some a -> a.(set_idx) | None -> assert false
+            in
+            (* Victim is the oldest insertion: ages.(0).  Rotate ages and
+               replace the victim in the recency array. *)
+            let victim_tag = ages.(0) in
+            Array.blit ages 1 ages 0 (ways - 1);
+            ages.(ways - 1) <- tag;
+            let victim_pos =
+              match find_in_set set fill victim_tag with
+              | Some p -> p
+              | None -> assert false
+            in
+            insert victim_pos);
+        Miss
+      end
+
+let access t addr = access_as t ~owner:0 addr
+
+let probe t addr =
+  let set_idx = Geometry.set_index t.geometry addr in
+  let tag = Geometry.tag t.geometry addr in
+  find_in_set t.recency.(set_idx) t.fill.(set_idx) tag <> None
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.iteri
+    (fun i set ->
+      Array.fill set 0 (Array.length set) invalid_tag;
+      t.fill.(i) <- 0)
+    t.recency;
+  (match t.age_order with
+  | Some ages ->
+      Array.iter (fun set -> Array.fill set 0 (Array.length set) invalid_tag) ages
+  | None -> ());
+  (match t.owners with
+  | Some owners ->
+      Array.iter (fun row -> Array.fill row 0 (Array.length row) invalid_tag) owners
+  | None -> ());
+  reset_stats t
+
+let resident_lines t = Array.fold_left ( + ) 0 t.fill
+
+let owner_lines t ~owner =
+  match t.owners with
+  | Some owners ->
+      let total = ref 0 in
+      Array.iteri
+        (fun set_idx row ->
+          for i = 0 to t.fill.(set_idx) - 1 do
+            if row.(i) = owner then incr total
+          done)
+        owners;
+      !total
+  | None -> if owner = 0 then resident_lines t else 0
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%a: %d accesses, %d hits, %d misses (%.2f%% miss rate)"
+    Geometry.pp t.geometry t.accesses t.hits t.misses (100.0 *. miss_rate t)

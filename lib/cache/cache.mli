@@ -1,0 +1,68 @@
+(** A set-associative cache model with pluggable replacement.
+
+    The model tracks only tags (no data), which is all a timing/contention
+    study needs.  Every access reports its LRU-stack depth on a hit, so a
+    single pass both simulates the cache and yields the stack-distance
+    profile. *)
+
+type t
+
+type outcome =
+  | Hit of int
+      (** [Hit depth]: the access hit at 1-based LRU depth [depth] of its
+          set ([1] = most recently used).  For non-LRU policies the depth is
+          still the recency depth, maintained alongside the policy. *)
+  | Miss
+
+val create : ?policy:Replacement.t -> ?partition:int array -> Geometry.t -> t
+(** [create ~policy ~partition geometry] is an empty (all-invalid) cache.
+    Default policy is {!Replacement.Lru}.
+
+    [partition], when given, way-partitions every set among owners:
+    [partition.(o)] is owner [o]'s way quota.  An owner at or above its
+    quota evicts its own LRU line; an owner below it steals the LRU line of
+    an over-quota owner (global LRU if nobody is over).  Quotas must be
+    positive and sum to at most the associativity; partitioning requires
+    the LRU policy.  Accesses then go through {!access_as}. *)
+
+val geometry : t -> Geometry.t
+val policy : t -> Replacement.t
+
+val partition : t -> int array option
+(** The way quotas this cache was created with, if any. *)
+
+val access : t -> int -> outcome
+(** [access t addr] looks up the line containing byte address [addr],
+    updates replacement state, fills the line on a miss, and updates the
+    statistics counters.  Equivalent to [access_as t ~owner:0 addr]. *)
+
+val access_as : t -> owner:int -> int -> outcome
+(** [access_as t ~owner addr] is {!access} on behalf of [owner] (a core
+    index); only meaningful for partitioned caches, where the owner selects
+    the victim policy described at {!create}.  [owner] must be within the
+    partition array when one exists. *)
+
+val owner_lines : t -> owner:int -> int
+(** Number of currently valid lines inserted by [owner] (0 for
+    unpartitioned caches unless owner is 0). *)
+
+val probe : t -> int -> bool
+(** [probe t addr] is [true] iff the line is present; no state change. *)
+
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val miss_rate : t -> float
+(** Misses over accesses; 0 if no accesses. *)
+
+val reset_stats : t -> unit
+(** Clears the statistics counters, keeping cache contents. *)
+
+val clear : t -> unit
+(** Invalidates every line and clears statistics. *)
+
+val resident_lines : t -> int
+(** Number of currently valid lines (for occupancy assertions). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+let line_bytes = 64
+
+let level ~size_bytes ~associativity ~latency =
+  {
+    Hierarchy.geometry = Geometry.make ~size_bytes ~line_bytes ~associativity;
+    latency;
+  }
+
+let l1i = level ~size_bytes:(Geometry.kib 32) ~associativity:4 ~latency:1
+let l1d = level ~size_bytes:(Geometry.kib 32) ~associativity:8 ~latency:1
+let l2 = level ~size_bytes:(Geometry.kib 256) ~associativity:8 ~latency:10
+let memory_latency = 200
+
+let llc_config = function
+  | 1 -> level ~size_bytes:(Geometry.kib 512) ~associativity:8 ~latency:16
+  | 2 -> level ~size_bytes:(Geometry.kib 512) ~associativity:16 ~latency:20
+  | 3 -> level ~size_bytes:(Geometry.mib 1) ~associativity:8 ~latency:18
+  | 4 -> level ~size_bytes:(Geometry.mib 1) ~associativity:16 ~latency:22
+  | 5 -> level ~size_bytes:(Geometry.mib 2) ~associativity:8 ~latency:20
+  | 6 -> level ~size_bytes:(Geometry.mib 2) ~associativity:16 ~latency:24
+  | n -> invalid_arg (Printf.sprintf "Configs.llc_config: no config #%d" n)
+
+let llc_config_count = 6
+
+let baseline ?(llc = 1) () =
+  { Hierarchy.l1i; l1d; l2; llc = llc_config llc; memory_latency }
+
+let llc_config_name n =
+  if n < 1 || n > llc_config_count then
+    invalid_arg "Configs.llc_config_name"
+  else Printf.sprintf "config #%d" n

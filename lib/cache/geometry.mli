@@ -1,0 +1,43 @@
+(** Cache geometry: capacity, line size and associativity, plus the address
+    arithmetic (set index / tag extraction) shared by the cache model and
+    the stack-distance profiler. *)
+
+type t = private {
+  size_bytes : int;  (** total capacity in bytes; power of two *)
+  line_bytes : int;  (** line size in bytes; power of two *)
+  associativity : int;  (** ways per set; must divide the line count *)
+  num_sets : int;  (** derived: [size_bytes / line_bytes / associativity] *)
+  set_shift : int;  (** derived: log2 [line_bytes] *)
+  set_mask : int;  (** derived: [num_sets - 1] *)
+}
+
+val make : size_bytes:int -> line_bytes:int -> associativity:int -> t
+(** [make ~size_bytes ~line_bytes ~associativity] validates the parameters
+    (powers of two, associativity divides the line count) and derives the
+    indexing fields.  Raises [Invalid_argument] on malformed geometry. *)
+
+val kib : int -> int
+(** [kib n] is [n] kibibytes in bytes. *)
+
+val mib : int -> int
+(** [mib n] is [n] mebibytes in bytes. *)
+
+val set_index : t -> int -> int
+(** [set_index t addr] is the set the byte address [addr] maps to. *)
+
+val tag : t -> int -> int
+(** [tag t addr] is the tag stored for [addr] (line address; distinct lines
+    mapping to the same set have distinct tags). *)
+
+val line_address : t -> int -> int
+(** [line_address t addr] is [addr] with the intra-line offset cleared,
+    identifying the cache line. *)
+
+val lines : t -> int
+(** Total number of lines ([num_sets * associativity]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. "512KB 8-way 64B-line (1024 sets)". *)
+
+val describe_size : int -> string
+(** [describe_size bytes] renders a byte count as "32KB", "1MB", ... *)

@@ -1,0 +1,110 @@
+type level = { geometry : Geometry.t; latency : int }
+
+type config = {
+  l1i : level;
+  l1d : level;
+  l2 : level;
+  llc : level;
+  memory_latency : int;
+}
+
+type hit_level = L1 | L2 | Llc | Memory
+type access_kind = Fetch | Load | Store
+
+type result = {
+  latency : int;
+  hit_level : hit_level;
+  llc_outcome : Cache.outcome option;
+}
+
+type t = {
+  config : config;
+  l1i_cache : Cache.t;
+  l1d_cache : Cache.t;
+  l2_cache : Cache.t;
+  llc_cache : Cache.t;
+  llc_owner : int;
+  perfect_llc : bool;
+  mutable llc_accesses : int;
+  mutable llc_misses : int;
+}
+
+let create ?llc ?(llc_owner = 0) ?(perfect_llc = false) config =
+  let llc_cache =
+    match llc with
+    | Some cache ->
+        if Cache.geometry cache <> config.llc.geometry then
+          invalid_arg "Hierarchy.create: shared LLC geometry mismatch";
+        cache
+    | None -> Cache.create config.llc.geometry
+  in
+  {
+    config;
+    l1i_cache = Cache.create config.l1i.geometry;
+    l1d_cache = Cache.create config.l1d.geometry;
+    l2_cache = Cache.create config.l2.geometry;
+    llc_cache;
+    llc_owner;
+    perfect_llc;
+    llc_accesses = 0;
+    llc_misses = 0;
+  }
+
+let config t = t.config
+let llc t = t.llc_cache
+
+let access t ~kind ~addr =
+  let l1, l1_latency =
+    match kind with
+    | Fetch -> (t.l1i_cache, t.config.l1i.latency)
+    | Load | Store -> (t.l1d_cache, t.config.l1d.latency)
+  in
+  match Cache.access l1 addr with
+  | Cache.Hit _ -> { latency = l1_latency; hit_level = L1; llc_outcome = None }
+  | Cache.Miss -> (
+      match Cache.access t.l2_cache addr with
+      | Cache.Hit _ ->
+          { latency = t.config.l2.latency; hit_level = L2; llc_outcome = None }
+      | Cache.Miss ->
+          t.llc_accesses <- t.llc_accesses + 1;
+          (* A perfect LLC hits on every access and keeps no state. *)
+          let outcome =
+            if t.perfect_llc then Cache.Hit 1
+            else Cache.access_as t.llc_cache ~owner:t.llc_owner addr
+          in
+          (match outcome with
+          | Cache.Hit _ ->
+              {
+                latency = t.config.llc.latency;
+                hit_level = Llc;
+                llc_outcome = Some outcome;
+              }
+          | Cache.Miss ->
+              t.llc_misses <- t.llc_misses + 1;
+              {
+                latency = t.config.llc.latency + t.config.memory_latency;
+                hit_level = Memory;
+                llc_outcome = Some outcome;
+              }))
+
+let llc_accesses t = t.llc_accesses
+let llc_misses t = t.llc_misses
+
+let reset_stats t =
+  t.llc_accesses <- 0;
+  t.llc_misses <- 0;
+  Cache.reset_stats t.l1i_cache;
+  Cache.reset_stats t.l1d_cache;
+  Cache.reset_stats t.l2_cache
+
+let pp_level ppf (name, level) =
+  Format.fprintf ppf "%-10s %a, %d cycle%s" name Geometry.pp level.geometry
+    level.latency
+    (if level.latency = 1 then "" else "s")
+
+let pp_config ppf config =
+  Format.fprintf ppf "@[<v>%a@,%a@,%a@,%a@,%-10s %d cycles@]" pp_level
+    ("L1 I", config.l1i) pp_level
+    ("L1 D", config.l1d)
+    pp_level ("L2", config.l2) pp_level ("LLC", config.llc) "memory"
+    config.memory_latency

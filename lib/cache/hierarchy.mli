@@ -1,0 +1,61 @@
+(** The private portion of a core's cache hierarchy plus its (possibly
+    shared) last-level cache, with the latency model of the paper's Table 1:
+    L1 I/D 1 cycle, private L2 10 cycles, shared L3 per Table 2, memory 200
+    cycles.
+
+    One {!t} exists per core.  In single-core runs the LLC is owned; in the
+    detailed multi-core simulator one LLC {!Cache.t} is created and every
+    core's hierarchy is built around it with [~llc]. *)
+
+type level = { geometry : Geometry.t; latency : int }
+(** One cache level: geometry plus access latency in cycles. *)
+
+type config = {
+  l1i : level;
+  l1d : level;
+  l2 : level;
+  llc : level;
+  memory_latency : int;
+}
+(** Full hierarchy parameters. *)
+
+type hit_level = L1 | L2 | Llc | Memory
+(** Where an access was satisfied. *)
+
+type access_kind = Fetch | Load | Store
+
+type result = {
+  latency : int;  (** cycles to satisfy the access *)
+  hit_level : hit_level;
+  llc_outcome : Cache.outcome option;
+      (** outcome at the LLC if the access reached it (i.e. missed L2);
+          [None] otherwise.  Lets profilers histogram LLC stack depths. *)
+}
+
+type t
+
+val create :
+  ?llc:Cache.t -> ?llc_owner:int -> ?perfect_llc:bool -> config -> t
+(** [create ?llc ?llc_owner ?perfect_llc config] builds the hierarchy.
+    [llc], if given, is the shared LLC instance (its geometry must match
+    [config.llc.geometry]); [llc_owner] (default 0) is the owner identity
+    this core presents to a way-partitioned shared LLC.  [perfect_llc]
+    (default [false]) makes every access that reaches the LLC hit — the
+    paper's "perfect LLC" run used to isolate the memory CPI component. *)
+
+val config : t -> config
+val llc : t -> Cache.t
+
+val access : t -> kind:access_kind -> addr:int -> result
+(** Simulates the access through L1 (instruction or data side per [kind]),
+    then L2, then LLC, then memory. *)
+
+val llc_accesses : t -> int
+(** LLC lookups issued by this core's hierarchy. *)
+
+val llc_misses : t -> int
+(** LLC misses suffered by this core's hierarchy (0 under [perfect_llc]). *)
+
+val reset_stats : t -> unit
+
+val pp_config : Format.formatter -> config -> unit

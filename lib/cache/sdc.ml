@@ -1,0 +1,85 @@
+type t = { assoc : int; counters : float array (* length assoc + 1 *) }
+
+let create ~assoc =
+  if assoc <= 0 then invalid_arg "Sdc.create: assoc must be positive";
+  { assoc; counters = Array.make (assoc + 1) 0.0 }
+
+let assoc t = t.assoc
+
+let record t ~depth =
+  if depth < 1 then invalid_arg "Sdc.record: depth must be >= 1";
+  let i = if depth > t.assoc then t.assoc else depth - 1 in
+  t.counters.(i) <- t.counters.(i) +. 1.0
+
+let counter t i =
+  if i < 1 || i > t.assoc + 1 then invalid_arg "Sdc.counter: index out of range";
+  t.counters.(i - 1)
+
+let accesses t = Array.fold_left ( +. ) 0.0 t.counters
+let misses t = t.counters.(t.assoc)
+let hits t = accesses t -. misses t
+
+let miss_rate t =
+  let total = accesses t in
+  if total = 0.0 then 0.0 else misses t /. total
+
+let copy t = { assoc = t.assoc; counters = Array.copy t.counters }
+
+let add a b =
+  if a.assoc <> b.assoc then invalid_arg "Sdc.add: associativity mismatch";
+  { assoc = a.assoc; counters = Array.map2 ( +. ) a.counters b.counters }
+
+let add_into ~dst src =
+  if dst.assoc <> src.assoc then invalid_arg "Sdc.add_into: associativity mismatch";
+  Array.iteri (fun i v -> dst.counters.(i) <- dst.counters.(i) +. v) src.counters
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Sdc.scale: negative factor";
+  { assoc = t.assoc; counters = Array.map (fun v -> v *. k) t.counters }
+
+let reduce_associativity t ~assoc:new_assoc =
+  if new_assoc <= 0 || new_assoc > t.assoc then
+    invalid_arg "Sdc.reduce_associativity: bad target associativity";
+  let counters = Array.make (new_assoc + 1) 0.0 in
+  for i = 0 to new_assoc - 1 do
+    counters.(i) <- t.counters.(i)
+  done;
+  for i = new_assoc to t.assoc do
+    counters.(new_assoc) <- counters.(new_assoc) +. t.counters.(i)
+  done;
+  { assoc = new_assoc; counters }
+
+let misses_with_ways t ~ways =
+  if ways < 0.0 then invalid_arg "Sdc.misses_with_ways: negative ways";
+  if ways >= float_of_int t.assoc then misses t
+  else
+    (* misses(k) for integer k ways = sum of counters deeper than k. *)
+    let misses_at k =
+      let acc = ref 0.0 in
+      for i = k to t.assoc do
+        acc := !acc +. t.counters.(i)
+      done;
+      !acc
+    in
+    let k = int_of_float (floor ways) in
+    let frac = ways -. float_of_int k in
+    let lo = misses_at k and hi = misses_at (k + 1) in
+    lo +. (frac *. (hi -. lo))
+
+let to_list t = Array.to_list t.counters
+
+let of_list ~assoc counters =
+  if List.length counters <> assoc + 1 then
+    invalid_arg "Sdc.of_list: length must be assoc + 1";
+  if List.exists (fun c -> c < 0.0) counters then
+    invalid_arg "Sdc.of_list: negative counter";
+  { assoc; counters = Array.of_list counters }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>SDC(%d-way:" t.assoc;
+  Array.iteri
+    (fun i c ->
+      if i = t.assoc then Format.fprintf ppf " >%.0f" c
+      else Format.fprintf ppf " %.0f" c)
+    t.counters;
+  Format.fprintf ppf ")@]"

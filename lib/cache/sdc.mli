@@ -1,0 +1,72 @@
+(** Stack Distance Counters (Mattson et al. 1970), the per-program cache
+    profile MPPM feeds to its contention model.
+
+    For an A-way set-associative LRU cache an SDC holds A+1 counters
+    C_1 ... C_A, C_{>A}: an access that hits at depth i of its set's LRU
+    stack increments C_i; a miss increments C_{>A}.  Counters are floats so
+    profiles can be scaled and merged without overflow concerns. *)
+
+type t
+(** An SDC histogram; immutable size (associativity), mutable counters. *)
+
+val create : assoc:int -> t
+(** [create ~assoc] is an all-zero SDC for an [assoc]-way cache. *)
+
+val assoc : t -> int
+
+val record : t -> depth:int -> unit
+(** [record t ~depth] increments the counter for an access that hit at
+    1-based LRU depth [depth]; [depth > assoc t] (e.g. [max_int]) records a
+    miss. *)
+
+val counter : t -> int -> float
+(** [counter t i] is C_i for [1 <= i <= assoc], and C_{>A} for
+    [i = assoc + 1]. *)
+
+val accesses : t -> float
+(** Total accesses: sum of all counters. *)
+
+val hits : t -> float
+(** Accesses with depth <= associativity. *)
+
+val misses : t -> float
+(** The C_{>A} counter. *)
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 if there are no accesses. *)
+
+val copy : t -> t
+
+val add : t -> t -> t
+(** [add a b] is the element-wise sum; both must have equal associativity.
+    Summing per-interval SDCs is how MPPM builds the SDC for an arbitrary
+    instruction window (paper Sec. 2.2). *)
+
+val add_into : dst:t -> t -> unit
+(** In-place accumulate. *)
+
+val scale : t -> float -> t
+(** [scale t k] multiplies every counter by [k]; used to take a fractional
+    part of an interval's SDC when an instruction window cuts an interval. *)
+
+val reduce_associativity : t -> assoc:int -> t
+(** [reduce_associativity t ~assoc] derives the SDC the same access stream
+    would produce on a cache of lower associativity with the same set count:
+    counters beyond the new depth fold into the miss counter (inclusion
+    property of LRU).  This is the paper's Sec. 2 parenthetical — profiling
+    once at 16 ways serves 8-way studies for free.  Requires
+    [assoc <= assoc t]. *)
+
+val misses_with_ways : t -> ways:float -> float
+(** [misses_with_ways t ~ways] is the miss count if the program only owned
+    [ways] ways of each set, interpolated linearly between integer depths.
+    [ways >= assoc t] gives [misses t]; [ways = 0.] means every access
+    misses.  This is the FOA contention model's core query. *)
+
+val to_list : t -> float list
+(** Counters in order C_1, ..., C_A, C_{>A}. *)
+
+val of_list : assoc:int -> float list -> t
+(** Inverse of {!to_list}; the list must have length [assoc + 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = {
+  cache : Cache.t;
+  mutable current : Sdc.t;
+  total : Sdc.t;
+}
+
+let create geometry =
+  let assoc = geometry.Geometry.associativity in
+  {
+    cache = Cache.create ~policy:Replacement.Lru geometry;
+    current = Sdc.create ~assoc;
+    total = Sdc.create ~assoc;
+  }
+
+let geometry t = Cache.geometry t.cache
+
+let record_outcome t outcome =
+  let depth =
+    match outcome with Cache.Hit d -> d | Cache.Miss -> max_int
+  in
+  Sdc.record t.current ~depth;
+  Sdc.record t.total ~depth
+
+let access t addr =
+  let outcome = Cache.access t.cache addr in
+  record_outcome t outcome;
+  outcome
+
+let cut_interval t =
+  let finished = t.current in
+  t.current <- Sdc.create ~assoc:(Sdc.assoc finished);
+  finished
+
+let current t = t.current
+let lifetime_total t = Sdc.copy t.total

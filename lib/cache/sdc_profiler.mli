@@ -1,0 +1,34 @@
+(** Per-interval stack-distance profiling of an access stream.
+
+    Drives a private LRU image of the target cache and histograms every
+    access's LRU depth into the current interval's {!Sdc.t}.  The
+    single-core profiling run cuts an interval every 20M instructions
+    (scaled), producing the per-interval SDCs MPPM consumes. *)
+
+type t
+
+val create : Geometry.t -> t
+(** [create geometry] profiles a cache of the given geometry (always LRU:
+    stack distances are defined against the LRU stack). *)
+
+val geometry : t -> Geometry.t
+
+val access : t -> int -> Cache.outcome
+(** [access t addr] simulates the access, records its depth in the current
+    interval, and reports the outcome. *)
+
+val record_outcome : t -> Cache.outcome -> unit
+(** [record_outcome t outcome] histograms an outcome observed on an
+    *external* cache of the same geometry, without touching the internal
+    image.  Used when the profiled cache is simulated elsewhere. *)
+
+val cut_interval : t -> Sdc.t
+(** [cut_interval t] returns the SDC accumulated since the previous cut
+    (or creation) and starts a fresh interval. *)
+
+val current : t -> Sdc.t
+(** The (live) SDC of the interval in progress.  The returned value aliases
+    internal state; copy it if you need a snapshot. *)
+
+val lifetime_total : t -> Sdc.t
+(** Sum over all completed intervals plus the current one. *)

@@ -1,0 +1,38 @@
+let check ~cpi_single ~cpi_multi =
+  let n = Array.length cpi_single in
+  if n = 0 || n <> Array.length cpi_multi then
+    invalid_arg "Metrics: arrays must have equal non-zero length";
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Metrics: non-positive CPI")
+    cpi_single;
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Metrics: non-positive CPI")
+    cpi_multi
+
+let stp ~cpi_single ~cpi_multi =
+  check ~cpi_single ~cpi_multi;
+  let acc = ref 0.0 in
+  Array.iteri (fun i sc -> acc := !acc +. (sc /. cpi_multi.(i))) cpi_single;
+  !acc
+
+let antt ~cpi_single ~cpi_multi =
+  check ~cpi_single ~cpi_multi;
+  let acc = ref 0.0 in
+  Array.iteri (fun i sc -> acc := !acc +. (cpi_multi.(i) /. sc)) cpi_single;
+  !acc /. float_of_int (Array.length cpi_single)
+
+let slowdowns ~cpi_single ~cpi_multi =
+  check ~cpi_single ~cpi_multi;
+  Array.mapi (fun i sc -> cpi_multi.(i) /. sc) cpi_single
+
+let positive name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array");
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg (name ^ ": non-positive")) a
+
+let stp_of_slowdowns s =
+  positive "Metrics.stp_of_slowdowns" s;
+  Array.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 s
+
+let antt_of_slowdowns s =
+  positive "Metrics.antt_of_slowdowns" s;
+  Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s)

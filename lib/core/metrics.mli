@@ -1,0 +1,26 @@
+(** Multi-program performance metrics (Eyerman & Eeckhout, IEEE Micro
+    2008), as defined in the paper's Sec. 3.
+
+    Both metrics compare each program's multi-core CPI against its
+    single-core (isolated) CPI:
+
+    - system throughput, a higher-is-better system-perspective metric equal
+      to weighted speedup: STP = sum_p CPI_SC,p / CPI_MC,p;
+    - average normalized turnaround time, a lower-is-better user-perspective
+      metric: ANTT = (1/n) sum_p CPI_MC,p / CPI_SC,p. *)
+
+val stp : cpi_single:float array -> cpi_multi:float array -> float
+(** System throughput (weighted speedup).  Arrays must be non-empty, equal
+    length, strictly positive. *)
+
+val antt : cpi_single:float array -> cpi_multi:float array -> float
+(** Average normalized turnaround time. *)
+
+val slowdowns : cpi_single:float array -> cpi_multi:float array -> float array
+(** Per-program slowdown [CPI_MC,p / CPI_SC,p] (ANTT is its mean). *)
+
+val stp_of_slowdowns : float array -> float
+(** STP from per-program slowdowns: [sum_p 1 / slowdown_p]. *)
+
+val antt_of_slowdowns : float array -> float
+(** ANTT from per-program slowdowns: their arithmetic mean. *)

@@ -1,0 +1,235 @@
+module Profile = Mppm_profile.Profile
+module Contention = Mppm_contention.Contention
+
+type update_rule = Paper_literal | Consistent
+
+type bandwidth = { transfer_cycles : float; exposed_fraction : float }
+
+type params = {
+  iteration_instructions : int;
+  smoothing : float;
+  stop_trace_multiplier : float;
+  contention : Contention.model;
+  update_rule : update_rule;
+  bandwidth : bandwidth option;
+}
+
+let default_params ~trace_instructions =
+  if trace_instructions <= 0 then
+    invalid_arg "Model.default_params: trace_instructions <= 0";
+  {
+    iteration_instructions = max 1 (trace_instructions / 5);
+    smoothing = 0.5;
+    stop_trace_multiplier = 5.0;
+    contention = Contention.default;
+    update_rule = Consistent;
+    bandwidth = None;
+  }
+
+type program_input = { label : string; profile : Profile.t }
+
+type program_output = {
+  name : string;
+  slowdown : float;
+  cpi_single : float;
+  cpi_multi : float;
+  instructions_modelled : float;
+}
+
+type result = {
+  programs : program_output array;
+  stp : float;
+  antt : float;
+  iterations : int;
+}
+
+type iteration_record = {
+  epoch_cycles : float;
+  progress : float array;
+  extra_misses : float array;
+  slowdown_estimate : float array;
+}
+
+(* Mutable per-program model state. *)
+type state = {
+  input : program_input;
+  trace_length : float;
+  mutable r : float;  (* slowdown R_p *)
+  mutable ip : float;  (* instruction pointer I_p *)
+}
+
+let validate params inputs =
+  if params.iteration_instructions <= 0 then
+    invalid_arg "Model.predict: iteration_instructions <= 0";
+  if not (params.smoothing >= 0.0 && params.smoothing < 1.0) then
+    invalid_arg "Model.predict: smoothing must be in [0, 1)";
+  if params.stop_trace_multiplier <= 0.0 then
+    invalid_arg "Model.predict: stop_trace_multiplier <= 0";
+  (match params.bandwidth with
+  | Some b when b.transfer_cycles <= 0.0 || b.exposed_fraction < 0.0 ->
+      invalid_arg "Model.predict: malformed bandwidth parameters"
+  | Some _ | None -> ());
+  if Array.length inputs = 0 then invalid_arg "Model.predict: no programs";
+  let assoc = inputs.(0).profile.Profile.llc_assoc in
+  Array.iter
+    (fun i ->
+      if i.profile.Profile.llc_assoc <> assoc then
+        invalid_arg "Model.predict: profiles at different LLC associativities")
+    inputs
+
+(* Average LLC miss penalty over a window: cycles lost to LLC misses per
+   miss.  Falls back to the whole-trace average when the window has no
+   misses (the division in Fig. 2 needs a denominator). *)
+let miss_penalty profile (w : Profile.window) =
+  if w.Profile.w_llc_misses > 0.0 then
+    w.Profile.w_memory_stall_cycles /. w.Profile.w_llc_misses
+  else
+    let total_misses =
+      Array.fold_left
+        (fun acc iv -> acc +. iv.Profile.llc_misses)
+        0.0 profile.Profile.intervals
+    in
+    if total_misses > 0.0 then
+      Array.fold_left
+        (fun acc iv -> acc +. iv.Profile.memory_stall_cycles)
+        0.0 profile.Profile.intervals
+      /. total_misses
+    else 0.0
+
+let run params inputs ~record =
+  validate params inputs;
+  let states =
+    Array.map
+      (fun input ->
+        {
+          input;
+          trace_length =
+            float_of_int (Profile.total_instructions input.profile);
+          r = 1.0;
+          ip = 0.0;
+        })
+      inputs
+  in
+  let l = float_of_int params.iteration_instructions in
+  let history = ref [] in
+  let iterations = ref 0 in
+  let stop_reached () =
+    Array.for_all
+      (fun st -> st.ip >= params.stop_trace_multiplier *. st.trace_length)
+      states
+  in
+  while not (stop_reached ()) do
+    incr iterations;
+    (* Step 1: find the epoch budget C set by the slowest program. *)
+    let window_l =
+      Array.map
+        (fun st -> Profile.window st.input.profile ~start:st.ip ~count:l)
+        states
+    in
+    let epoch_cycles =
+      Array.to_list window_l
+      |> List.mapi (fun i w -> Profile.window_cpi w *. states.(i).r *. l)
+      |> List.fold_left Float.max 0.0
+    in
+    (* Step 2: per-program progress within C cycles. *)
+    let progress =
+      Array.mapi
+        (fun i st ->
+          let cpi = Profile.window_cpi window_l.(i) in
+          epoch_cycles /. (cpi *. st.r))
+        states
+    in
+    (* Step 3: window statistics over each program's actual progress. *)
+    let windows =
+      Array.mapi
+        (fun i st ->
+          Profile.window st.input.profile ~start:st.ip ~count:progress.(i))
+        states
+    in
+    (* Step 4: contention model on the epoch SDCs. *)
+    let sdcs = Array.map (fun w -> w.Profile.w_sdc) windows in
+    let contention = Contention.predict params.contention sdcs in
+    (* Step 4b (extension): bandwidth queueing.  The M/D/1 wait at the
+       mix's channel utilization, minus the program's own-alone wait. *)
+    let queueing_extra =
+      match params.bandwidth with
+      | None -> fun _ -> 0.0
+      | Some b ->
+          let wait rho =
+            let rho = Float.min rho 0.98 in
+            b.transfer_cycles *. rho /. (2.0 *. (1.0 -. rho))
+          in
+          let total_shared =
+            Array.fold_left ( +. ) 0.0 contention.Contention.shared_misses
+          in
+          let rho_mix = total_shared *. b.transfer_cycles /. epoch_cycles in
+          fun i ->
+            let w = windows.(i) in
+            let alone_cycles =
+              Float.max 1.0 (Profile.window_cpi w *. w.Profile.w_instructions)
+            in
+            let rho_alone =
+              w.Profile.w_llc_misses *. b.transfer_cycles /. alone_cycles
+            in
+            let delta = Float.max 0.0 (wait rho_mix -. wait rho_alone) in
+            b.exposed_fraction *. delta
+            *. contention.Contention.shared_misses.(i)
+    in
+    (* Step 5: price the conflict misses and update the slowdowns. *)
+    Array.iteri
+      (fun i st ->
+        let penalty = miss_penalty st.input.profile windows.(i) in
+        let miss_cycles =
+          (contention.Contention.extra_misses.(i) *. penalty)
+          +. queueing_extra i
+        in
+        let current =
+          match params.update_rule with
+          | Paper_literal -> 1.0 +. (miss_cycles /. epoch_cycles)
+          | Consistent -> 1.0 +. (miss_cycles *. st.r /. epoch_cycles)
+        in
+        st.r <-
+          (params.smoothing *. st.r) +. ((1.0 -. params.smoothing) *. current);
+        st.ip <- st.ip +. progress.(i))
+      states;
+    if record then
+      history :=
+        {
+          epoch_cycles;
+          progress;
+          extra_misses = Array.copy contention.Contention.extra_misses;
+          slowdown_estimate = Array.map (fun st -> st.r) states;
+        }
+        :: !history
+  done;
+  let programs =
+    Array.map
+      (fun st ->
+        let cpi_single = Profile.cpi st.input.profile in
+        {
+          name = st.input.label;
+          slowdown = st.r;
+          cpi_single;
+          cpi_multi = cpi_single *. st.r;
+          instructions_modelled = st.ip;
+        })
+      states
+  in
+  let slowdowns = Array.map (fun p -> p.slowdown) programs in
+  ( {
+      programs;
+      stp = Metrics.stp_of_slowdowns slowdowns;
+      antt = Metrics.antt_of_slowdowns slowdowns;
+      iterations = !iterations;
+    },
+    List.rev !history )
+
+let predict params inputs = fst (run params inputs ~record:false)
+
+let predict_profiles params profiles =
+  predict params
+    (Array.map
+       (fun profile -> { label = profile.Profile.benchmark; profile })
+       profiles)
+
+let predict_with_history params inputs = run params inputs ~record:true

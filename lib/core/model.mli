@@ -1,0 +1,101 @@
+(** The Multi-Program Performance Model: the paper's core contribution
+    (Sec. 2.2, Fig. 2).
+
+    From per-program single-core profiles, the model iteratively resolves
+    the entanglement between per-program progress and shared-LLC
+    contention:
+
+    + every program starts with slowdown R_p = 1 and instruction pointer
+      I_p = 0;
+    + each iteration, the program with the largest projected multi-core
+      time over its next L instructions sets the epoch's cycle budget
+      C = max_p CPI_SC,p(window) * R_p * L;
+    + every program advances N_p = C / (CPI_SC,p * R_p) instructions; its
+      per-interval SDCs are summed over that window;
+    + the contention model converts the window SDCs into extra conflict
+      misses, priced at the window's average LLC miss penalty
+      (memory CPI * N_p / #LLC misses);
+    + each slowdown is updated through an exponential moving average and
+      instruction pointers advance;
+    + iteration stops once the slowest program has executed
+      [stop_trace_multiplier] traces (paper: 5 x 1B instructions).
+
+    The update rule comes in two flavours (see {!update_rule}): the paper's
+    literal formula compares conflict-miss cycles against the epoch budget
+    C, while the [Consistent] variant compares them against the program's
+    own isolated time in the epoch (C / R_p) — the two coincide at small
+    slowdowns; the ablation bench quantifies the difference. *)
+
+type update_rule =
+  | Paper_literal  (** R <- f R + (1-f) (1 + miss_cycles / C) *)
+  | Consistent  (** R <- f R + (1-f) (1 + miss_cycles * R / C) *)
+
+(** Optional bandwidth-contention extension (the paper's Sec. 8 future
+    work): misses of all co-runners share one memory channel; each miss
+    additionally queues behind the channel, approximated as an M/D/1 wait
+    [transfer_cycles * rho / (2 (1 - rho))] at the mix's channel
+    utilization.  The model charges only the queueing {e beyond} what the
+    program already suffers alone (its profile carries self-queueing when
+    collected with a channel). *)
+type bandwidth = {
+  transfer_cycles : float;  (** channel occupancy per line transfer *)
+  exposed_fraction : float;
+      (** fraction of queueing delay that ends up as visible stall (out-of-
+          order overlap hides the rest); match the simulator's memory
+          exposure / typical MLP *)
+}
+
+type params = {
+  iteration_instructions : int;  (** L; the paper uses trace/5 = 200M *)
+  smoothing : float;  (** f of the EMA; in [0, 1), higher = smoother *)
+  stop_trace_multiplier : float;  (** stop criterion; the paper uses 5. *)
+  contention : Mppm_contention.Contention.model;
+  update_rule : update_rule;
+  bandwidth : bandwidth option;  (** [None] = unlimited (the paper) *)
+}
+
+val default_params : trace_instructions:int -> params
+(** Paper-faithful scaling: L = trace/5, stop after 5 traces, FOA
+    contention, [Consistent] update, smoothing 0.5. *)
+
+type program_input = {
+  label : string;  (** display name (benchmark name, possibly repeated) *)
+  profile : Mppm_profile.Profile.t;
+}
+
+type program_output = {
+  name : string;
+  slowdown : float;  (** final R_p *)
+  cpi_single : float;  (** whole-trace isolated CPI from the profile *)
+  cpi_multi : float;  (** CPI_SC,p * R_p: the model's prediction *)
+  instructions_modelled : float;  (** final I_p *)
+}
+
+type result = {
+  programs : program_output array;
+  stp : float;
+  antt : float;
+  iterations : int;
+}
+
+val predict : params -> program_input array -> result
+(** [predict params programs] runs the iterative model.  All profiles must
+    have been collected at the same LLC associativity.  Raises
+    [Invalid_argument] on malformed parameters or inputs. *)
+
+val predict_profiles : params -> Mppm_profile.Profile.t array -> result
+(** Convenience wrapper labelling each program by its profile's benchmark
+    name. *)
+
+(** Per-iteration trace for inspection, tests and convergence studies. *)
+type iteration_record = {
+  epoch_cycles : float;  (** C *)
+  progress : float array;  (** N_p *)
+  extra_misses : float array;
+  slowdown_estimate : float array;  (** R_p after the EMA update *)
+}
+
+val predict_with_history :
+  params -> program_input array -> result * iteration_record list
+(** Like {!predict} but also returns the iteration history, oldest
+    first. *)

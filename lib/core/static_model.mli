@@ -1,0 +1,34 @@
+(** A phase-unaware baseline: the StatCC-style equation-solving approach
+    (Eklov et al., HiPEAC 2011) that the paper contrasts MPPM against.
+
+    Instead of walking the programs' traces interval by interval, this
+    model collapses each profile to its whole-trace aggregate (one SDC,
+    one CPI, one memory CPI) and solves the CPI <-> miss-rate
+    interdependence by fixed-point iteration over a single window:
+
+    + assume slowdowns R_p;
+    + in a common time window, program p executes N_p proportional to
+      1 / (CPI_p * R_p) instructions, so its aggregate SDC is scaled by
+      N_p / trace;
+    + the contention model yields extra misses, priced at the aggregate
+      miss penalty, giving new slowdowns;
+    + repeat until the slowdowns move less than [tolerance].
+
+    Everything MPPM knows about time-varying behaviour is deliberately
+    discarded; the ablation bench measures what that costs on
+    phase-alternating workloads (the paper's argument for the iterative,
+    interval-walking design). *)
+
+type params = {
+  contention : Mppm_contention.Contention.model;
+  max_iterations : int;  (** fixed-point cap (default 100) *)
+  tolerance : float;  (** max |R - R'| for convergence (default 1e-6) *)
+  damping : float;  (** update damping in [0, 1); 0 = undamped *)
+}
+
+val default_params : params
+
+val predict : params -> Mppm_profile.Profile.t array -> Model.result
+(** [predict params profiles] returns the same result shape as
+    {!Model.predict_profiles}; [iterations] reports the fixed-point
+    iteration count. *)

@@ -1,0 +1,128 @@
+module Stats = Mppm_util.Stats
+module Mix = Mppm_workload.Mix
+module Sampler = Mppm_workload.Sampler
+module Model = Mppm_core.Model
+
+type mix_eval = {
+  mix : Mix.t;
+  measured : Context.measured;
+  predicted : Model.result;
+}
+
+type run = {
+  cores : int;
+  llc_config : int;
+  evals : mix_eval array;
+  stp_error : float;
+  antt_error : float;
+  slowdown_error : float;
+}
+
+let evaluate ctx ~llc_config ~cores ~count =
+  let rng = Context.rng ctx (Printf.sprintf "accuracy-%d-%d" llc_config cores) in
+  let mixes = Sampler.random_mixes rng ~cores ~count in
+  let evals =
+    Array.map
+      (fun mix ->
+        {
+          mix;
+          measured = Context.detailed ctx ~llc_config mix;
+          predicted = Context.predict ctx ~llc_config mix;
+        })
+      mixes
+  in
+  let collect f = Array.map f evals in
+  let stp_error =
+    Stats.mean_relative_error
+      ~predicted:(collect (fun e -> e.predicted.Model.stp))
+      ~measured:(collect (fun e -> e.measured.Context.m_stp))
+  in
+  let antt_error =
+    Stats.mean_relative_error
+      ~predicted:(collect (fun e -> e.predicted.Model.antt))
+      ~measured:(collect (fun e -> e.measured.Context.m_antt))
+  in
+  let predicted_slowdowns =
+    Array.concat
+      (Array.to_list
+         (collect (fun e ->
+              Array.map (fun p -> p.Model.slowdown) e.predicted.Model.programs)))
+  in
+  let measured_slowdowns =
+    Array.concat (Array.to_list (collect (fun e -> e.measured.Context.m_slowdowns)))
+  in
+  let slowdown_error =
+    Stats.mean_relative_error ~predicted:predicted_slowdowns
+      ~measured:measured_slowdowns
+  in
+  { cores; llc_config; evals; stp_error; antt_error; slowdown_error }
+
+let scatter_stp run =
+  Array.map
+    (fun e -> (e.predicted.Model.stp, e.measured.Context.m_stp))
+    run.evals
+
+let scatter_antt run =
+  Array.map
+    (fun e -> (e.predicted.Model.antt, e.measured.Context.m_antt))
+    run.evals
+
+let scatter_slowdown run =
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun e ->
+            Array.mapi
+              (fun i p -> (p.Model.slowdown, e.measured.Context.m_slowdowns.(i)))
+              e.predicted.Model.programs)
+          run.evals))
+
+let worst_stp_eval run =
+  if Array.length run.evals = 0 then invalid_arg "Accuracy.worst_stp_eval";
+  Array.fold_left
+    (fun worst e ->
+      if e.measured.Context.m_stp < worst.measured.Context.m_stp then e
+      else worst)
+    run.evals.(0) run.evals
+
+type cpi_row = {
+  program : string;
+  isolated_cpi : float;
+  measured_cpi : float;
+  predicted_cpi : float;
+}
+
+let cpi_rows eval =
+  Array.mapi
+    (fun i p ->
+      {
+        program = p.Model.name;
+        isolated_cpi = p.Model.cpi_single;
+        measured_cpi = eval.measured.Context.m_cpi_multi.(i);
+        predicted_cpi = p.Model.cpi_multi;
+      })
+    eval.predicted.Model.programs
+
+let pp_run_summary ppf run =
+  Format.fprintf ppf
+    "%d cores, config #%d, %d mixes: avg error STP %.1f%%, ANTT %.1f%%, \
+     per-program slowdown %.1f%%"
+    run.cores run.llc_config (Array.length run.evals)
+    (100.0 *. run.stp_error) (100.0 *. run.antt_error)
+    (100.0 *. run.slowdown_error)
+
+let pp_scatter ~label ppf points =
+  Format.fprintf ppf "# %s: predicted measured@." label;
+  Array.iter
+    (fun (predicted, measured) ->
+      Format.fprintf ppf "%.4f %.4f@." predicted measured)
+    points
+
+let pp_cpi_rows ppf rows =
+  Format.fprintf ppf "%-12s %10s %10s %10s@." "program" "isolated"
+    "measured" "predicted";
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "%-12s %10.3f %10.3f %10.3f@." row.program
+        row.isolated_cpi row.measured_cpi row.predicted_cpi)
+    rows

@@ -1,0 +1,50 @@
+(** Model-accuracy experiments: Fig. 4 (STP/ANTT scatter and average errors
+    for 2/4/8 cores, plus the 16-core spot check), Fig. 5 (per-program
+    slowdown scatter) and Fig. 6 (CPI breakdown of the worst-STP mix). *)
+
+type mix_eval = {
+  mix : Mppm_workload.Mix.t;
+  measured : Context.measured;
+  predicted : Mppm_core.Model.result;
+}
+
+type run = {
+  cores : int;
+  llc_config : int;
+  evals : mix_eval array;
+  stp_error : float;  (** mean relative |predicted - measured| / measured *)
+  antt_error : float;
+  slowdown_error : float;  (** over all programs of all mixes *)
+}
+
+val evaluate :
+  Context.t -> llc_config:int -> cores:int -> count:int -> run
+(** [evaluate ctx ~llc_config ~cores ~count] draws [count] random mixes
+    (paper: 150 for 2/4/8 cores on config #1; 25 for 16 cores on config
+    #4), runs detailed simulation and MPPM on each, and aggregates the
+    errors. *)
+
+val scatter_stp : run -> (float * float) array
+(** (predicted, measured) STP pairs — the dots of Fig. 4(a). *)
+
+val scatter_antt : run -> (float * float) array
+val scatter_slowdown : run -> (float * float) array
+(** (predicted, measured) per-program slowdowns — the dots of Fig. 5. *)
+
+val worst_stp_eval : run -> mix_eval
+(** The mix with the lowest measured STP (Fig. 6's subject). *)
+
+(** Fig. 6 rows: per-program isolated, measured multi-core and predicted
+    multi-core CPI. *)
+type cpi_row = {
+  program : string;
+  isolated_cpi : float;
+  measured_cpi : float;
+  predicted_cpi : float;
+}
+
+val cpi_rows : mix_eval -> cpi_row array
+
+val pp_run_summary : Format.formatter -> run -> unit
+val pp_scatter : label:string -> Format.formatter -> (float * float) array -> unit
+val pp_cpi_rows : Format.formatter -> cpi_row array -> unit

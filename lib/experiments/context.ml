@@ -1,0 +1,172 @@
+module Rng = Mppm_util.Rng
+module Configs = Mppm_cache.Configs
+module Suite = Mppm_trace.Suite
+module Single_core = Mppm_simcore.Single_core
+module Core_model = Mppm_simcore.Core_model
+module Multi_core = Mppm_multicore.Multi_core
+module Profile = Mppm_profile.Profile
+module Model = Mppm_core.Model
+module Metrics = Mppm_core.Metrics
+module Mix = Mppm_workload.Mix
+module Category = Mppm_workload.Category
+
+type t = {
+  scale : Scale.t;
+  core : Core_model.params;
+  contention : Mppm_contention.Contention.model;
+  update_rule : Model.update_rule;
+  smoothing : float;
+  seed : int;
+  cache_dir : string option;
+  profiles : (int * int, Profile.t) Hashtbl.t;  (* (llc_config, bench) *)
+  offsets : int array;  (* per-core-slot address offsets *)
+}
+
+let max_cores = 16
+
+let create ?(core = Core_model.default)
+    ?(model_contention = Mppm_contention.Contention.default)
+    ?(model_update = Model.Consistent) ?(model_smoothing = 0.5) ?(seed = 42)
+    ?cache_dir scale =
+  (match cache_dir with
+  | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  | None -> ());
+  {
+    scale;
+    core;
+    contention = model_contention;
+    update_rule = model_update;
+    smoothing = model_smoothing;
+    seed;
+    cache_dir;
+    profiles = Hashtbl.create 64;
+    offsets = Multi_core.default_offsets ~seed max_cores;
+  }
+
+let scale t = t.scale
+let seed t = t.seed
+
+let rng t purpose =
+  (* Derive a purpose-specific seed so experiment arms stay independent. *)
+  let h = ref t.seed in
+  String.iter (fun c -> h := (!h * 31) + Char.code c) purpose;
+  Rng.create ~seed:(!h land max_int)
+
+let model_params t =
+  {
+    (Model.default_params
+       ~trace_instructions:t.scale.Scale.trace_instructions)
+    with
+    contention = t.contention;
+    update_rule = t.update_rule;
+    smoothing = t.smoothing;
+  }
+
+let hierarchy _t ~llc_config = Configs.baseline ~llc:llc_config ()
+
+let cache_path t ~llc_config bench_index =
+  Option.map
+    (fun dir ->
+      Filename.concat dir
+        (Printf.sprintf "%s-cfg%d-t%d.prof" Suite.names.(bench_index)
+           llc_config t.scale.Scale.trace_instructions))
+    t.cache_dir
+
+let compute_profile t ~llc_config bench_index =
+  let benchmark = Suite.all.(bench_index) in
+  Single_core.profile
+    (Single_core.config ~core:t.core (hierarchy t ~llc_config))
+    ~benchmark
+    ~seed:(Suite.seed_for benchmark.Mppm_trace.Benchmark.name)
+    ~trace_instructions:t.scale.Scale.trace_instructions
+    ~interval_instructions:t.scale.Scale.interval_instructions
+
+let profile t ~llc_config bench_index =
+  if bench_index < 0 || bench_index >= Suite.count then
+    invalid_arg "Context.profile: bad benchmark index";
+  let key = (llc_config, bench_index) in
+  match Hashtbl.find_opt t.profiles key with
+  | Some p -> p
+  | None ->
+      let p =
+        match cache_path t ~llc_config bench_index with
+        | Some path when Sys.file_exists path -> Profile.load path
+        | Some path ->
+            let p = compute_profile t ~llc_config bench_index in
+            Profile.save p path;
+            p
+        | None -> compute_profile t ~llc_config bench_index
+      in
+      Hashtbl.add t.profiles key p;
+      p
+
+let all_profiles t ~llc_config =
+  Array.init Suite.count (fun i -> profile t ~llc_config i)
+
+let cpi_single t ~llc_config mix =
+  Array.map
+    (fun i -> Profile.cpi (profile t ~llc_config i))
+    (Mix.indices mix)
+
+type measured = {
+  m_cpi_single : float array;
+  m_cpi_multi : float array;
+  m_slowdowns : float array;
+  m_stp : float;
+  m_antt : float;
+  m_detail : Multi_core.result;
+}
+
+let detailed ?llc_partition t ~llc_config mix =
+  let indices = Mix.indices mix in
+  if Array.length indices > max_cores then
+    invalid_arg "Context.detailed: mix larger than the supported core count";
+  let specs =
+    Array.mapi
+      (fun slot bench_index ->
+        let benchmark = Suite.all.(bench_index) in
+        {
+          Multi_core.benchmark;
+          seed = Suite.seed_for benchmark.Mppm_trace.Benchmark.name;
+          offset = t.offsets.(slot);
+        })
+      indices
+  in
+  let detail =
+    Multi_core.run
+      (Multi_core.config ~core:t.core ?llc_partition (hierarchy t ~llc_config))
+      ~programs:specs
+      ~trace_instructions:t.scale.Scale.trace_instructions
+  in
+  let m_cpi_single = cpi_single t ~llc_config mix in
+  let m_cpi_multi =
+    Array.map
+      (fun p -> p.Multi_core.multicore_cpi)
+      detail.Multi_core.programs
+  in
+  {
+    m_cpi_single;
+    m_cpi_multi;
+    m_slowdowns = Metrics.slowdowns ~cpi_single:m_cpi_single ~cpi_multi:m_cpi_multi;
+    m_stp = Metrics.stp ~cpi_single:m_cpi_single ~cpi_multi:m_cpi_multi;
+    m_antt = Metrics.antt ~cpi_single:m_cpi_single ~cpi_multi:m_cpi_multi;
+    m_detail = detail;
+  }
+
+let mix_profiles t ~llc_config mix =
+  Array.map (fun i -> profile t ~llc_config i) (Mix.indices mix)
+
+let predict t ~llc_config mix =
+  Model.predict_profiles (model_params t) (mix_profiles t ~llc_config mix)
+
+let predict_with t ~params ~llc_config mix =
+  Model.predict_profiles params (mix_profiles t ~llc_config mix)
+
+let predict_static t ~llc_config mix =
+  Mppm_core.Static_model.predict
+    { Mppm_core.Static_model.default_params with
+      contention = t.contention }
+    (mix_profiles t ~llc_config mix)
+
+let categories t ~llc_config =
+  Category.classify_profiles (all_profiles t ~llc_config)

@@ -1,0 +1,85 @@
+(** Shared machinery for the paper's experiments: per-(benchmark, LLC
+    config) profile management with optional disk caching, detailed
+    simulation of mixes, MPPM prediction of mixes, and the measured/
+    predicted metric pairs every figure is built from. *)
+
+type t
+
+val create :
+  ?core:Mppm_simcore.Core_model.params ->
+  ?model_contention:Mppm_contention.Contention.model ->
+  ?model_update:Mppm_core.Model.update_rule ->
+  ?model_smoothing:float ->
+  ?seed:int ->
+  ?cache_dir:string ->
+  Scale.t ->
+  t
+(** [create scale] builds a context.  [cache_dir], when given, persists
+    single-core profiles across runs (they are the "one-time cost" of
+    Fig. 1).  [seed] (default 42) drives all sampling. *)
+
+val scale : t -> Scale.t
+val seed : t -> int
+
+val rng : t -> string -> Mppm_util.Rng.t
+(** [rng t purpose] is a fresh deterministic stream for the given purpose
+    string; distinct purposes yield independent streams. *)
+
+val model_params : t -> Mppm_core.Model.params
+(** The MPPM parameters this context uses (paper-faithful ratios at the
+    context's scale, with any constructor overrides applied). *)
+
+val profile : t -> llc_config:int -> int -> Mppm_profile.Profile.t
+(** [profile t ~llc_config i] is the single-core profile of suite benchmark
+    [i] on LLC configuration [llc_config] (Table 2), computed on first use
+    (or loaded from the cache directory) and memoized. *)
+
+val all_profiles : t -> llc_config:int -> Mppm_profile.Profile.t array
+(** Profiles of the whole suite, in suite order. *)
+
+val cpi_single : t -> llc_config:int -> Mppm_workload.Mix.t -> float array
+(** Isolated whole-trace CPI of each program of the mix. *)
+
+(** The measured (detailed-simulation) view of one mix. *)
+type measured = {
+  m_cpi_single : float array;
+  m_cpi_multi : float array;
+  m_slowdowns : float array;
+  m_stp : float;
+  m_antt : float;
+  m_detail : Mppm_multicore.Multi_core.result;
+}
+
+val detailed :
+  ?llc_partition:int array ->
+  t ->
+  llc_config:int ->
+  Mppm_workload.Mix.t ->
+  measured
+(** Runs the detailed multi-core simulator on the mix (program seeds match
+    the profiling runs; per-slot address offsets are deterministic in the
+    context seed).  [llc_partition] way-partitions the shared LLC per core
+    slot. *)
+
+val predict :
+  t -> llc_config:int -> Mppm_workload.Mix.t -> Mppm_core.Model.result
+(** Runs MPPM on the mix from cached profiles. *)
+
+val predict_with :
+  t ->
+  params:Mppm_core.Model.params ->
+  llc_config:int ->
+  Mppm_workload.Mix.t ->
+  Mppm_core.Model.result
+(** {!predict} with explicit model parameters (ablations, partition-aware
+    contention, ...). *)
+
+val predict_static :
+  t -> llc_config:int -> Mppm_workload.Mix.t -> Mppm_core.Model.result
+(** The phase-unaware {!Mppm_core.Static_model} baseline on the same
+    profiles. *)
+
+val hierarchy : t -> llc_config:int -> Mppm_cache.Hierarchy.config
+
+val categories : t -> llc_config:int -> Mppm_workload.Category.t array
+(** MEM/COMP classification of the suite from its profiles. *)

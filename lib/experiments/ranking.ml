@@ -1,0 +1,273 @@
+module Rank = Mppm_util.Rank
+module Rng = Mppm_util.Rng
+module Stats = Mppm_util.Stats
+module Mix = Mppm_workload.Mix
+module Sampler = Mppm_workload.Sampler
+module Category = Mppm_workload.Category
+module Model = Mppm_core.Model
+
+type options = {
+  cores : int;
+  random_pool : int;
+  category_pool_per_composition : int;
+  sets : int;
+  per_set : int;
+  per_composition : int;
+  mppm_mixes : int;
+}
+
+let default_options =
+  {
+    cores = 4;
+    random_pool = 36;
+    category_pool_per_composition = 12;
+    sets = 20;
+    per_set = 12;
+    per_composition = 4;
+    mppm_mixes = 1_000;
+  }
+
+let paper_options =
+  {
+    cores = 4;
+    random_pool = 150;
+    category_pool_per_composition = 50;
+    sets = 20;
+    per_set = 12;
+    per_composition = 4;
+    mppm_mixes = 5_000;
+  }
+
+type set_eval = { stp_rho : float; antt_rho : float }
+
+type pair_outcome = {
+  other_config : int;
+  agree_both_right : float;
+  agree_both_wrong : float;
+  disagree_mppm_right : float;
+  disagree_practice_right : float;
+}
+
+type t = {
+  options : options;
+  config_ids : int array;
+  reference_mean_stp : float array;
+  reference_mean_antt : float array;
+  mppm_mean_stp : float array;
+  mppm_mean_antt : float array;
+  random_sets : set_eval array;
+  category_sets : set_eval array;
+  mppm_eval : set_eval;
+  pairwise : pair_outcome array;
+}
+
+let config_ids = Array.init Mppm_cache.Configs.llc_config_count (fun i -> i + 1)
+
+(* Mean of a metric over a list of per-mix measurements, one value per
+   config: means.(config_index). *)
+let means_over per_config_values =
+  Array.map Stats.mean per_config_values
+
+let run ctx options =
+  let pool_rng = Context.rng ctx "ranking-pool" in
+  let set_rng = Context.rng ctx "ranking-sets" in
+  let mppm_rng = Context.rng ctx "ranking-mppm" in
+  let cores = options.cores in
+  (* --- pools ------------------------------------------------------- *)
+  let random_pool =
+    Sampler.random_mixes pool_rng ~cores ~count:options.random_pool
+  in
+  let classes = Context.categories ctx ~llc_config:1 in
+  let mem, comp = Category.partition classes in
+  let category_pool =
+    Category.compositions
+    |> List.map (fun composition ->
+           ( composition,
+             Array.init options.category_pool_per_composition (fun _ ->
+                 Category.random_mix pool_rng ~mem ~comp ~cores composition) ))
+  in
+  (* --- detailed simulation of every pool mix on every config -------- *)
+  let simulate mixes =
+    Array.map
+      (fun mix ->
+        Array.map
+          (fun cfg ->
+            let m = Context.detailed ctx ~llc_config:cfg mix in
+            (m.Context.m_stp, m.Context.m_antt))
+          config_ids)
+      mixes
+  in
+  let random_results = simulate random_pool in
+  let category_results =
+    List.map (fun (c, mixes) -> (c, simulate mixes)) category_pool
+  in
+  let n_configs = Array.length config_ids in
+  let column results metric_of cfg_idx =
+    Array.map (fun per_cfg -> metric_of per_cfg.(cfg_idx)) results
+  in
+  let reference_mean_stp =
+    means_over (Array.init n_configs (column random_results fst))
+  in
+  let reference_mean_antt =
+    means_over (Array.init n_configs (column random_results snd))
+  in
+  (* --- current-practice sets ---------------------------------------- *)
+  let set_eval per_mix_results =
+    let stp_means =
+      Array.init n_configs (fun c -> Stats.mean (column per_mix_results fst c))
+    in
+    let antt_means =
+      Array.init n_configs (fun c -> Stats.mean (column per_mix_results snd c))
+    in
+    {
+      stp_rho = Rank.spearman stp_means reference_mean_stp;
+      antt_rho = Rank.spearman antt_means reference_mean_antt;
+    }
+  in
+  let subsample rng results count =
+    let n = Array.length results in
+    if count >= n then Array.copy results
+    else
+      Array.map
+        (fun i -> results.(i))
+        (Rng.sample_without_replacement rng ~n ~k:count)
+  in
+  let random_sets =
+    Array.init options.sets (fun _ ->
+        set_eval (subsample set_rng random_results options.per_set))
+  in
+  let category_set_results () =
+    category_results
+    |> List.map (fun (_, results) ->
+           subsample set_rng results options.per_composition)
+    |> Array.concat
+  in
+  let category_sets =
+    Array.init options.sets (fun _ -> set_eval (category_set_results ()))
+  in
+  (* --- the MPPM population ------------------------------------------ *)
+  let mppm_mixes =
+    Sampler.random_mixes mppm_rng ~cores ~count:options.mppm_mixes
+  in
+  let mppm_results =
+    Array.map
+      (fun mix ->
+        Array.map
+          (fun cfg ->
+            let r = Context.predict ctx ~llc_config:cfg mix in
+            (r.Model.stp, r.Model.antt))
+          config_ids)
+      mppm_mixes
+  in
+  let mppm_mean_stp =
+    means_over (Array.init n_configs (column mppm_results fst))
+  in
+  let mppm_mean_antt =
+    means_over (Array.init n_configs (column mppm_results snd))
+  in
+  let mppm_eval =
+    {
+      stp_rho = Rank.spearman mppm_mean_stp reference_mean_stp;
+      antt_rho = Rank.spearman mppm_mean_antt reference_mean_antt;
+    }
+  in
+  (* --- Fig. 8 pairwise verdicts (config #1 vs #k, by mean STP) ------ *)
+  let better stp_a stp_b = stp_a >= stp_b in
+  let pairwise =
+    Array.init (n_configs - 1) (fun j ->
+        let k = j + 1 in
+        (* Index 0 is config #1. *)
+        let reference_verdict =
+          better reference_mean_stp.(0) reference_mean_stp.(k)
+        in
+        let mppm_verdict = better mppm_mean_stp.(0) mppm_mean_stp.(k) in
+        let tally = Array.make 4 0 in
+        for _ = 1 to options.sets do
+          let set = category_set_results () in
+          let stp_means =
+            Array.init n_configs (fun c -> Stats.mean (column set fst c))
+          in
+          let practice_verdict = better stp_means.(0) stp_means.(k) in
+          let agree = practice_verdict = mppm_verdict in
+          let mppm_right = mppm_verdict = reference_verdict in
+          let bucket =
+            match (agree, mppm_right) with
+            | true, true -> 0 (* agree, both right *)
+            | true, false -> 1 (* agree, both wrong *)
+            | false, true -> 2 (* disagree, MPPM right *)
+            | false, false -> 3 (* disagree, practice right *)
+          in
+          tally.(bucket) <- tally.(bucket) + 1
+        done;
+        let frac i = float_of_int tally.(i) /. float_of_int options.sets in
+        {
+          other_config = config_ids.(k);
+          agree_both_right = frac 0;
+          agree_both_wrong = frac 1;
+          disagree_mppm_right = frac 2;
+          disagree_practice_right = frac 3;
+        })
+  in
+  {
+    options;
+    config_ids;
+    reference_mean_stp;
+    reference_mean_antt;
+    mppm_mean_stp;
+    mppm_mean_antt;
+    random_sets;
+    category_sets;
+    mppm_eval;
+    pairwise;
+  }
+
+let pp_sets ppf label sets =
+  Format.fprintf ppf "%s sets (STP rho / ANTT rho):@." label;
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "  set %2d: %6.3f / %6.3f@." (i + 1) s.stp_rho
+        s.antt_rho)
+    sets;
+  let stp = Array.map (fun s -> s.stp_rho) sets in
+  let antt = Array.map (fun s -> s.antt_rho) sets in
+  Format.fprintf ppf "  avg   : %6.3f / %6.3f  (min %.3f / %.3f)@."
+    (Stats.mean stp) (Stats.mean antt)
+    (fst (Stats.min_max stp))
+    (fst (Stats.min_max antt))
+
+let pp_fig7 ppf t =
+  Format.fprintf ppf
+    "# Fig.7 rank correlation vs reference (detailed, %d mixes)@."
+    t.options.random_pool;
+  Format.fprintf ppf "config:        ";
+  Array.iter (Format.fprintf ppf "   #%d   ") t.config_ids;
+  Format.fprintf ppf "@.reference STP: ";
+  Array.iter (Format.fprintf ppf "%7.3f") t.reference_mean_stp;
+  Format.fprintf ppf "@.reference ANTT:";
+  Array.iter (Format.fprintf ppf "%7.3f") t.reference_mean_antt;
+  Format.fprintf ppf "@.MPPM STP:      ";
+  Array.iter (Format.fprintf ppf "%7.3f") t.mppm_mean_stp;
+  Format.fprintf ppf "@.MPPM ANTT:     ";
+  Array.iter (Format.fprintf ppf "%7.3f") t.mppm_mean_antt;
+  Format.fprintf ppf "@.@.";
+  pp_sets ppf "(a) random" t.random_sets;
+  pp_sets ppf "(b) per-category" t.category_sets;
+  Format.fprintf ppf "MPPM (%d mixes): %.3f / %.3f@." t.options.mppm_mixes
+    t.mppm_eval.stp_rho t.mppm_eval.antt_rho
+
+let pp_fig8 ppf t =
+  Format.fprintf ppf
+    "# Fig.8 config #1 vs #k: current practice vs MPPM (fractions of %d \
+     sets)@."
+    t.options.sets;
+  Format.fprintf ppf "%8s %12s %12s %14s %16s@." "pair" "agree-right"
+    "agree-wrong" "disagr-MPPM-rt" "disagr-practice-rt";
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "#1 vs #%d %11.0f%% %11.0f%% %13.0f%% %15.0f%%@."
+        p.other_config
+        (100.0 *. p.agree_both_right)
+        (100.0 *. p.agree_both_wrong)
+        (100.0 *. p.disagree_mppm_right)
+        (100.0 *. p.disagree_practice_right))
+    t.pairwise

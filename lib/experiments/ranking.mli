@@ -1,0 +1,59 @@
+(** Figs. 7 and 8: debunking current practice.
+
+    Six LLC configurations (Table 2) are ranked by mean STP/ANTT.  The
+    {e reference} ranking comes from detailed simulation of a pool of
+    random mixes (the paper's 150).  {e Current practice} is emulated by
+    small sets of 12 mixes — fully random (Fig. 7a) or 4 MEM / 4 COMP /
+    4 MIX within benchmark categories (Fig. 7b) — each scored by the
+    Spearman rank correlation of its ranking against the reference.  MPPM
+    ranks the configurations from a large predicted population.  Fig. 8
+    compares config #1 pairwise against #2..#6: how often current practice
+    disagrees with MPPM, and who is right against the reference. *)
+
+type options = {
+  cores : int;
+  random_pool : int;
+      (** detailed-simulated random mixes; also the reference population *)
+  category_pool_per_composition : int;
+      (** detailed-simulated mixes per MEM/COMP/MIX composition *)
+  sets : int;  (** number of current-practice sets (paper: 20) *)
+  per_set : int;  (** mixes per random set (paper: 12) *)
+  per_composition : int;  (** mixes per composition in a category set (4) *)
+  mppm_mixes : int;  (** size of the MPPM-predicted population (paper: 5000) *)
+}
+
+val default_options : options
+(** Sized so the experiment finishes in minutes at the default scale
+    (random pool 36, 1,000 MPPM mixes). *)
+
+val paper_options : options
+(** The paper's numbers: 150 reference mixes, 20 sets of 12, 5,000 MPPM
+    mixes. *)
+
+type set_eval = { stp_rho : float; antt_rho : float }
+
+type pair_outcome = {
+  other_config : int;
+  agree_both_right : float;
+  agree_both_wrong : float;
+  disagree_mppm_right : float;
+  disagree_practice_right : float;
+}
+
+type t = {
+  options : options;
+  config_ids : int array;
+  reference_mean_stp : float array;  (** per config, detailed simulation *)
+  reference_mean_antt : float array;
+  mppm_mean_stp : float array;  (** per config, MPPM population *)
+  mppm_mean_antt : float array;
+  random_sets : set_eval array;  (** Fig. 7(a) bars *)
+  category_sets : set_eval array;  (** Fig. 7(b) bars *)
+  mppm_eval : set_eval;  (** the MPPM bar *)
+  pairwise : pair_outcome array;  (** Fig. 8, config #1 vs each other *)
+}
+
+val run : Context.t -> options -> t
+
+val pp_fig7 : Format.formatter -> t -> unit
+val pp_fig8 : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Experiment scale: trace and interval lengths.
+
+    The paper uses 1B-instruction traces with 20M-instruction intervals
+    (50 per trace), L = 200M (trace/5) and a 5-trace stop criterion.  Pure
+    OCaml detailed simulation of hundreds of billion-instruction mixes is
+    not feasible, so experiments run at a reduced scale with the same
+    ratios; the cache geometries stay at paper scale and the synthetic
+    benchmarks are calibrated against them. *)
+
+type t = {
+  trace_instructions : int;
+  interval_instructions : int;  (** trace / 50, as in the paper *)
+}
+
+val of_trace : int -> t
+(** [of_trace n] rounds [n] up to a multiple of 50 and derives the interval
+    length (trace/50). *)
+
+val default : t
+(** 2M-instruction traces (1:500 of the paper): detailed simulation of a
+    quad-core mix takes a couple of seconds, so population experiments
+    finish in minutes. *)
+
+val quick : t
+(** 1M-instruction traces for smoke runs. *)
+
+val large : t
+(** 10M-instruction traces (1:100 of the paper) for overnight-quality
+    numbers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Sec. 4.3: MPPM speed versus detailed simulation.
+
+    The paper: single-core profiling costs ~1 hour per benchmark (one-time);
+    MPPM then predicts a mix in sub-second time while detailed simulation of
+    an 8-core mix takes ~12 hours — up to five orders of magnitude.  At our
+    scale both sides shrink by the same trace factor, so the {e ratios} are
+    the reproducible quantity. *)
+
+type t = {
+  profile_seconds : float;  (** wall seconds per single-core profiling run *)
+  one_time_cost_seconds : float;  (** profiling the whole 29-benchmark suite *)
+  detailed_seconds_per_mix : (int * float) list;
+      (** (cores, wall seconds) per detailed multi-core simulation *)
+  mppm_seconds_per_mix : float;
+  speedup_model_only : (int * float) list;
+      (** (cores, detailed/MPPM) once profiles exist *)
+  speedup_study_150 : (int * float) list;
+      (** (cores, speedup) for a 150-mix study including the one-time
+          profiling cost — the paper's 62x number for 8 cores *)
+}
+
+val measure :
+  Context.t -> ?cores_list:int list -> ?sim_mixes:int -> ?model_mixes:int ->
+  unit -> t
+(** [measure ctx ()] times a fresh profiling run, [sim_mixes] (default 3)
+    detailed simulations per core count (default [2; 4; 8]) and
+    [model_mixes] (default 50) MPPM predictions. *)
+
+val pp : Format.formatter -> t -> unit

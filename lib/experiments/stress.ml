@@ -1,0 +1,75 @@
+module Model = Mppm_core.Model
+
+type t = {
+  sorted : (float * float) array;
+  worst_k : int;
+  overlap : int;
+  per_benchmark_slowdown : (string * float * float) array;
+}
+
+let analyze ?worst_k (run : Accuracy.run) =
+  let evals = run.Accuracy.evals in
+  let n = Array.length evals in
+  if n = 0 then invalid_arg "Stress.analyze: empty population";
+  let worst_k =
+    match worst_k with Some k -> max 1 (min k n) | None -> max 1 (n / 6)
+  in
+  let order = Array.init n (fun i -> i) in
+  let measured_stp i = evals.(i).Accuracy.measured.Context.m_stp in
+  let predicted_stp i = evals.(i).Accuracy.predicted.Model.stp in
+  Array.sort (fun a b -> compare (measured_stp a) (measured_stp b)) order;
+  let sorted =
+    Array.map (fun i -> (measured_stp i, predicted_stp i)) order
+  in
+  let worst_measured =
+    Array.to_list (Array.sub order 0 worst_k) |> List.sort_uniq compare
+  in
+  let by_predicted = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (predicted_stp a) (predicted_stp b))
+    by_predicted;
+  let worst_predicted =
+    Array.to_list (Array.sub by_predicted 0 worst_k) |> List.sort_uniq compare
+  in
+  let overlap =
+    List.length (List.filter (fun i -> List.mem i worst_predicted) worst_measured)
+  in
+  (* Per-benchmark maximum slowdown across the population. *)
+  let table : (string, float * float) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun e ->
+      Array.iteri
+        (fun i p ->
+          let name = p.Model.name in
+          let measured = e.Accuracy.measured.Context.m_slowdowns.(i) in
+          let predicted = p.Model.slowdown in
+          let best_m, best_p =
+            Option.value (Hashtbl.find_opt table name) ~default:(0.0, 0.0)
+          in
+          Hashtbl.replace table name
+            (Float.max best_m measured, Float.max best_p predicted))
+        e.Accuracy.predicted.Model.programs)
+    evals;
+  let per_benchmark_slowdown =
+    Hashtbl.fold (fun name (m, p) acc -> (name, m, p) :: acc) table []
+    |> List.sort (fun (_, m1, _) (_, m2, _) -> compare m2 m1)
+    |> Array.of_list
+  in
+  { sorted; worst_k; overlap; per_benchmark_slowdown }
+
+let pp_sorted ppf t =
+  Format.fprintf ppf "# Fig.9: mixes sorted by measured STP@.";
+  Format.fprintf ppf "# rank measured predicted@.";
+  Array.iteri
+    (fun i (m, p) -> Format.fprintf ppf "%5d %8.3f %8.3f@." (i + 1) m p)
+    t.sorted
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "MPPM identifies %d of the %d worst-STP workloads.@." t.overlap t.worst_k;
+  Format.fprintf ppf "max slowdown per benchmark (measured / predicted):@.";
+  Array.iter
+    (fun (name, m, p) ->
+      if m > 1.05 then
+        Format.fprintf ppf "  %-12s %5.2fx / %5.2fx@." name m p)
+    t.per_benchmark_slowdown

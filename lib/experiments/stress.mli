@@ -1,0 +1,28 @@
+(** Fig. 9 / Sec. 6: identifying stress workloads.
+
+    MPPM's headline application: rank all workload mixes by predicted STP
+    and check that the worst (stress) workloads it identifies coincide with
+    the worst workloads under detailed simulation.  The paper finds the
+    top-23 of the 25 worst mixes, with gamess the decisive sharing-
+    sensitive benchmark (2.2x slowdown vs at most ~1.3x for the rest). *)
+
+type t = {
+  sorted : (float * float) array;
+      (** (measured, predicted) STP pairs sorted by increasing measured
+          STP — the two curves of Fig. 9 *)
+  worst_k : int;
+  overlap : int;
+      (** how many of the measured worst-[k] mixes MPPM also places in its
+          own worst [k] *)
+  per_benchmark_slowdown : (string * float * float) array;
+      (** per suite benchmark appearing in the population: maximum
+          (measured, predicted) slowdown across all mixes, sorted
+          descending by measured — the Sec. 6 sensitivity table *)
+}
+
+val analyze : ?worst_k:int -> Accuracy.run -> t
+(** [analyze run] post-processes an {!Accuracy.run} population (default
+    [worst_k] = population/6, matching the paper's 25-of-150). *)
+
+val pp_sorted : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit

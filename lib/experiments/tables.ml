@@ -1,0 +1,20 @@
+module Configs = Mppm_cache.Configs
+module Hierarchy = Mppm_cache.Hierarchy
+module Geometry = Mppm_cache.Geometry
+module Core_model = Mppm_simcore.Core_model
+
+let pp_table1 ppf core =
+  Format.fprintf ppf "# Table 1: baseline processor configuration@.";
+  Format.fprintf ppf "core        %a@." Core_model.pp core;
+  Format.fprintf ppf "%a@." Hierarchy.pp_config (Configs.baseline ())
+
+let pp_table2 ppf () =
+  Format.fprintf ppf "# Table 2: last-level cache configurations@.";
+  Format.fprintf ppf "%-10s %8s %6s %8s@." "config" "size" "assoc" "latency";
+  for i = 1 to Configs.llc_config_count do
+    let level = Configs.llc_config i in
+    Format.fprintf ppf "%-10s %8s %6d %8d@."
+      (Configs.llc_config_name i)
+      (Geometry.describe_size level.Hierarchy.geometry.Geometry.size_bytes)
+      level.Hierarchy.geometry.Geometry.associativity level.Hierarchy.latency
+  done

@@ -1,0 +1,8 @@
+(** Tables 1 and 2 of the paper: the simulated machine. *)
+
+val pp_table1 : Format.formatter -> Mppm_simcore.Core_model.params -> unit
+(** The baseline processor configuration: core parameters plus the Table 1
+    hierarchy with LLC config #1. *)
+
+val pp_table2 : Format.formatter -> unit -> unit
+(** The six LLC configurations. *)

@@ -1,0 +1,48 @@
+module Stats = Mppm_util.Stats
+module Sampler = Mppm_workload.Sampler
+module Model = Mppm_core.Model
+
+type point = {
+  mixes : int;
+  stp : Stats.interval;
+  antt : Stats.interval;
+}
+
+type t = { cores : int; llc_config : int; points : point list }
+
+let run ctx ?(llc_config = 1) ?(cores = 4) ?(max_mixes = 150) ?(step = 10) () =
+  if max_mixes < 2 || step < 1 then invalid_arg "Variability.run";
+  let rng = Context.rng ctx "variability" in
+  let mixes = Sampler.random_mixes rng ~cores ~count:max_mixes in
+  let results = Array.map (Context.predict ctx ~llc_config) mixes in
+  let stps = Array.map (fun r -> r.Model.stp) results in
+  let antts = Array.map (fun r -> r.Model.antt) results in
+  let points = ref [] in
+  let n = ref step in
+  while !n <= max_mixes do
+    let take a = Array.sub a 0 !n in
+    points :=
+      {
+        mixes = !n;
+        stp = Stats.confidence_interval (take stps);
+        antt = Stats.confidence_interval (take antts);
+      }
+      :: !points;
+    n := !n + step
+  done;
+  { cores; llc_config; points = List.rev !points }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "# Fig.3 variability: %d cores, config #%d (95%% CI of the mean)@."
+    t.cores t.llc_config;
+  Format.fprintf ppf "%6s  %8s %8s %6s  %8s %8s %6s@." "mixes" "STP" "+/-"
+    "rel" "ANTT" "+/-" "rel";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%6d  %8.3f %8.3f %5.1f%%  %8.3f %8.3f %5.1f%%@."
+        p.mixes p.stp.Stats.mean p.stp.Stats.half_width
+        (100.0 *. Stats.relative_half_width p.stp)
+        p.antt.Stats.mean p.antt.Stats.half_width
+        (100.0 *. Stats.relative_half_width p.antt))
+    t.points

@@ -1,0 +1,37 @@
+(** Fig. 3: variability of mean STP/ANTT as a function of the number of
+    workload mixes.
+
+    The paper's point: 10 random mixes leave ~10%/18% (STP/ANTT) 95%
+    confidence intervals; even 20 leave ~7%/13%; only around 150 do the
+    bounds tighten to ~2.6%/4.5%.  We reproduce the curve with MPPM
+    predictions over a large sample of quad-core mixes (the model's speed
+    is what makes the large sample affordable — the figure's message does
+    not depend on which evaluator produced the per-mix numbers). *)
+
+type point = {
+  mixes : int;
+  stp : Mppm_util.Stats.interval;
+  antt : Mppm_util.Stats.interval;
+}
+
+type t = {
+  cores : int;
+  llc_config : int;
+  points : point list;  (** increasing mix counts *)
+}
+
+val run :
+  Context.t ->
+  ?llc_config:int ->
+  ?cores:int ->
+  ?max_mixes:int ->
+  ?step:int ->
+  unit ->
+  t
+(** [run ctx ()] predicts [max_mixes] (default 150) random quad-core mixes
+    and reports the 95% confidence interval of mean STP and mean ANTT over
+    the first [n] mixes for [n] in steps of [step] (default 10). *)
+
+val pp : Format.formatter -> t -> unit
+(** Series rows: n, STP mean and CI half-width (abs and %), same for
+    ANTT. *)

@@ -1,0 +1,157 @@
+module Hierarchy = Mppm_cache.Hierarchy
+module Cache = Mppm_cache.Cache
+module Core_model = Mppm_simcore.Core_model
+module Core_engine = Mppm_simcore.Core_engine
+module Generator = Mppm_trace.Generator
+
+type config = {
+  hierarchy : Hierarchy.config;
+  core : Core_model.params;
+  llc_partition : int array option;
+  bandwidth : float option;
+}
+
+let config ?(core = Core_model.default) ?llc_partition ?bandwidth hierarchy =
+  { hierarchy; core; llc_partition; bandwidth }
+
+type program_spec = {
+  benchmark : Mppm_trace.Benchmark.t;
+  seed : int;
+  offset : int;
+}
+
+type program_result = {
+  name : string;
+  instructions : int;
+  cycles : float;
+  multicore_cpi : float;
+  llc_accesses : int;
+  llc_misses : int;
+  total_retired : int;
+}
+
+type result = {
+  programs : program_result array;
+  wall_cycles : float;
+  llc_total_accesses : int;
+  llc_total_misses : int;
+}
+
+type core_state = {
+  engine : Core_engine.t;
+  spec : program_spec;
+  mutable first_pass_done : bool;
+  mutable completion : Core_engine.snapshot option;
+}
+
+(* Cap for ops of cores that already finished their first pass: keeps the
+   step loop cheap without affecting measurement (their per-op block size
+   is bounded by the generator's memory gaps anyway). *)
+let post_pass_cap = 1 lsl 20
+
+let run ?compute_scales cfg ~programs ~trace_instructions =
+  if Array.length programs = 0 then invalid_arg "Multi_core.run: no programs";
+  (match compute_scales with
+  | Some scales when Array.length scales < Array.length programs ->
+      invalid_arg "Multi_core.run: compute_scales smaller than the mix"
+  | Some _ | None -> ());
+  if trace_instructions <= 0 then
+    invalid_arg "Multi_core.run: trace_instructions <= 0";
+  (match cfg.llc_partition with
+  | Some quotas when Array.length quotas < Array.length programs ->
+      invalid_arg "Multi_core.run: partition smaller than the mix"
+  | Some _ | None -> ());
+  let shared_llc =
+    Cache.create ?partition:cfg.llc_partition
+      cfg.hierarchy.Hierarchy.llc.geometry
+  in
+  let memory_channel =
+    Option.map
+      (fun transfer_cycles ->
+        Mppm_simcore.Memory_channel.create ~transfer_cycles)
+      cfg.bandwidth
+  in
+  let cores =
+    Array.mapi
+      (fun slot spec ->
+        let generator =
+          Generator.create ~offset:spec.offset ~seed:spec.seed spec.benchmark
+        in
+        let hierarchy =
+          Hierarchy.create ~llc:shared_llc ~llc_owner:slot cfg.hierarchy
+        in
+        let compute_scale =
+          match compute_scales with Some s -> Some s.(slot) | None -> None
+        in
+        {
+          engine =
+            Core_engine.create ?memory_channel ?compute_scale ~params:cfg.core
+              ~hierarchy ~generator ();
+          spec;
+          first_pass_done = false;
+          completion = None;
+        })
+      programs
+  in
+  let unfinished = ref (Array.length cores) in
+  while !unfinished > 0 do
+    (* The core with the smallest cycle clock executes its next op: this
+       orders LLC accesses by (approximate) time. *)
+    let next = ref (-1) in
+    let best = ref infinity in
+    Array.iteri
+      (fun i core ->
+        let c = Core_engine.cycles core.engine in
+        if c < !best then begin
+          best := c;
+          next := i
+        end)
+      cores;
+    let core = cores.(!next) in
+    let cap =
+      if core.first_pass_done then post_pass_cap
+      else trace_instructions - Core_engine.retired core.engine
+    in
+    let _retired = Core_engine.step core.engine ~cap in
+    if
+      (not core.first_pass_done)
+      && Core_engine.retired core.engine >= trace_instructions
+    then begin
+      core.first_pass_done <- true;
+      core.completion <- Some (Core_engine.snapshot core.engine);
+      decr unfinished
+    end
+  done;
+  let programs =
+    Array.map
+      (fun core ->
+        let completion =
+          match core.completion with Some s -> s | None -> assert false
+        in
+        {
+          name = core.spec.benchmark.Mppm_trace.Benchmark.name;
+          instructions = trace_instructions;
+          cycles = completion.Core_engine.s_cycles;
+          multicore_cpi =
+            completion.Core_engine.s_cycles /. float_of_int trace_instructions;
+          llc_accesses = completion.Core_engine.s_llc_accesses;
+          llc_misses = completion.Core_engine.s_llc_misses;
+          total_retired = Core_engine.retired core.engine;
+        })
+      cores
+  in
+  let wall_cycles =
+    Array.fold_left (fun acc p -> Float.max acc p.cycles) 0.0 programs
+  in
+  {
+    programs;
+    wall_cycles;
+    llc_total_accesses = Cache.accesses shared_llc;
+    llc_total_misses = Cache.misses shared_llc;
+  }
+
+let default_offsets ?(seed = 0x0ff5e75) n =
+  let rng = Mppm_util.Rng.create ~seed in
+  Array.init n (fun i ->
+      (* 64GB apart, plus up to 16MB of page-granular jitter. *)
+      ((i + 1) * (1 lsl 36)) + (Mppm_util.Rng.int rng 4096 * 4096))

@@ -1,0 +1,73 @@
+(** The detailed multi-core reference simulator (the CMP$im stand-in).
+
+    N cores, each with private L1I/L1D/L2, share one LLC.  Cores execute
+    their programs concurrently; interleaving at the shared LLC follows the
+    cores' cycle clocks (the core with the smallest clock executes next),
+    so cache contention emerges from actual timing, exactly the behaviour
+    MPPM tries to predict analytically.
+
+    Per-program multi-core CPI is measured over the program's first full
+    trace; programs that finish early keep running (their generators cycle)
+    so the slower programs stay under contention — the Tuck & Tullsen /
+    FAME re-iteration methodology the paper also follows. *)
+
+type config = {
+  hierarchy : Mppm_cache.Hierarchy.config;
+  core : Mppm_simcore.Core_model.params;
+  llc_partition : int array option;
+      (** way quotas per core for a way-partitioned shared LLC; length must
+          cover the mix size.  [None] = fully shared LRU (the paper's
+          machine). *)
+  bandwidth : float option;
+      (** memory-channel occupancy (cycles per line transfer) of one
+          channel shared by all cores; [None] = unlimited bandwidth (the
+          paper's machine) *)
+}
+
+val config :
+  ?core:Mppm_simcore.Core_model.params ->
+  ?llc_partition:int array ->
+  ?bandwidth:float ->
+  Mppm_cache.Hierarchy.config ->
+  config
+
+type program_spec = {
+  benchmark : Mppm_trace.Benchmark.t;
+  seed : int;  (** generator seed; use the profiling seed to match traces *)
+  offset : int;  (** address-space displacement for this program instance *)
+}
+
+type program_result = {
+  name : string;
+  instructions : int;  (** first-pass length *)
+  cycles : float;  (** cycle at which the first pass completed *)
+  multicore_cpi : float;  (** [cycles / instructions] *)
+  llc_accesses : int;  (** during the first pass *)
+  llc_misses : int;  (** during the first pass *)
+  total_retired : int;  (** including re-iterations, at simulation end *)
+}
+
+type result = {
+  programs : program_result array;
+  wall_cycles : float;  (** cycle at which the last first-pass completed *)
+  llc_total_accesses : int;
+  llc_total_misses : int;
+}
+
+val run :
+  ?compute_scales:float array ->
+  config ->
+  programs:program_spec array ->
+  trace_instructions:int ->
+  result
+(** [run config ~programs ~trace_instructions] simulates the mix until
+    every program has completed [trace_instructions] instructions.
+    [compute_scales], when given, makes the machine heterogeneous: core
+    [i]'s non-memory cycle costs are multiplied by [compute_scales.(i)]
+    (1.0 = the baseline "big" core; see {!Mppm_simcore.Core_engine}). *)
+
+val default_offsets : ?seed:int -> int -> int array
+(** [default_offsets ~seed n] is [n] address-space offsets that (a) are
+    far enough apart that program instances never share lines, and (b)
+    carry a per-instance page-granular randomization so co-running copies
+    of the same benchmark do not collide set-for-set pathologically. *)

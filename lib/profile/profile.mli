@@ -1,0 +1,88 @@
+(** Single-core simulation profiles: the one-time-cost input to MPPM
+    (paper Sec. 2.1).
+
+    A profile holds, for every fixed-length instruction interval of an
+    isolated single-core run: the cycles spent (hence single-core CPI), the
+    cycles lost to LLC misses (hence memory CPI), the LLC access and miss
+    counts, and the LLC stack-distance counters.  MPPM aggregates these
+    over arbitrary instruction windows — including windows that wrap around
+    the end of the trace, because the model re-iterates programs over their
+    trace (Sec. 2.2). *)
+
+type interval = {
+  instructions : int;
+  cycles : float;
+  memory_stall_cycles : float;
+      (** cycles this interval would have saved with a perfect LLC *)
+  llc_accesses : float;
+  llc_misses : float;
+  sdc : Mppm_cache.Sdc.t;  (** LLC stack-distance counters *)
+}
+
+type t = {
+  benchmark : string;
+  interval_instructions : int;  (** nominal interval length *)
+  llc_assoc : int;  (** associativity the SDCs were collected at *)
+  intervals : interval array;
+}
+
+val make :
+  benchmark:string ->
+  interval_instructions:int ->
+  llc_assoc:int ->
+  interval array ->
+  t
+(** Validates interval shapes (positive instruction counts, SDC
+    associativity agreement) and builds the profile. *)
+
+val total_instructions : t -> int
+val total_cycles : t -> float
+
+val cpi : t -> float
+(** Whole-trace single-core CPI. *)
+
+val memory_cpi : t -> float
+(** Whole-trace memory CPI component. *)
+
+val memory_cpi_fraction : t -> float
+(** [memory_cpi / cpi]: the memory-boundedness used to classify benchmarks
+    into MEM/COMP categories (paper Sec. 5). *)
+
+val llc_mpki : t -> float
+(** LLC misses per kilo-instruction over the whole trace. *)
+
+(** Aggregate statistics over an instruction window [start, start+count),
+    positions taken modulo the trace length (programs restart). *)
+type window = {
+  w_instructions : float;
+  w_cycles : float;
+  w_memory_stall_cycles : float;
+  w_llc_accesses : float;
+  w_llc_misses : float;
+  w_sdc : Mppm_cache.Sdc.t;
+}
+
+val window : t -> start:float -> count:float -> window
+(** [window t ~start ~count] sums interval statistics over the window,
+    scaling the partial intervals at each end linearly (accesses are
+    assumed uniform within one interval).  [count] must be positive and
+    [start] non-negative. *)
+
+val window_cpi : window -> float
+val window_memory_cpi : window -> float
+
+val reduce_associativity : t -> assoc:int -> t
+(** [reduce_associativity t ~assoc] derives the profile for an LLC of lower
+    associativity (same set count): SDCs fold per
+    {!Mppm_cache.Sdc.reduce_associativity}; the timing fields are kept —
+    they describe the profiled hierarchy and remain the model's base-line
+    CPI.  Miss counts are re-derived from the folded SDC. *)
+
+val save : t -> string -> unit
+(** [save t path] writes the profile as a line-oriented text file. *)
+
+val load : string -> t
+(** [load path] reads a profile written by {!save}.  Raises [Failure] with
+    a line diagnostic on malformed input. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,152 @@
+module Hierarchy = Mppm_cache.Hierarchy
+module Sdc_profiler = Mppm_cache.Sdc_profiler
+module Generator = Mppm_trace.Generator
+module Op = Mppm_trace.Op
+module Benchmark = Mppm_trace.Benchmark
+
+type t = {
+  params : Core_model.params;
+  hierarchy : Hierarchy.t;
+  generator : Generator.t;
+  sdc_profiler : Sdc_profiler.t option;
+  memory_channel : Memory_channel.t option;
+  compute_scale : float;
+  mutable fetch_debt : int;
+  mutable cycles : float;
+  mutable memory_stall_cycles : float;
+  mutable llc_accesses : int;
+  mutable llc_misses : int;
+}
+
+let create ?sdc_profiler ?memory_channel ?(compute_scale = 1.0) ~params
+    ~hierarchy ~generator () =
+  if compute_scale <= 0.0 then
+    invalid_arg "Core_engine.create: compute_scale <= 0";
+  {
+    params;
+    hierarchy;
+    generator;
+    sdc_profiler;
+    memory_channel;
+    compute_scale;
+    fetch_debt = 0;
+    cycles = 0.0;
+    memory_stall_cycles = 0.0;
+    llc_accesses = 0;
+    llc_misses = 0;
+  }
+
+let note_llc t (result : Hierarchy.result) =
+  match result.llc_outcome with
+  | None -> ()
+  | Some outcome ->
+      t.llc_accesses <- t.llc_accesses + 1;
+      (match outcome with
+      | Mppm_cache.Cache.Miss -> t.llc_misses <- t.llc_misses + 1
+      | Mppm_cache.Cache.Hit _ -> ());
+      (match t.sdc_profiler with
+      | Some profiler -> Sdc_profiler.record_outcome profiler outcome
+      | None -> ())
+
+(* Queueing delay of an LLC miss on the shared memory channel, exposed the
+   same way the raw miss latency is. *)
+let channel_delay t =
+  match t.memory_channel with
+  | None -> 0.0
+  | Some channel -> Memory_channel.request channel ~now:t.cycles
+
+let issue_fetches t count =
+  t.fetch_debt <- t.fetch_debt + count;
+  let config = Hierarchy.config t.hierarchy in
+  while t.fetch_debt >= Generator.instructions_per_fetch do
+    t.fetch_debt <- t.fetch_debt - Generator.instructions_per_fetch;
+    let addr = Generator.next_fetch t.generator in
+    let result = Hierarchy.access t.hierarchy ~kind:Hierarchy.Fetch ~addr in
+    let stall = Core_model.fetch_stall t.params result in
+    note_llc t result;
+    if result.hit_level = Hierarchy.Memory then begin
+      (* Split the stall: the part an LLC hit would also have suffered
+         scales with the core; the off-chip extra does not. *)
+      let miss_extra =
+        Core_model.fetch_llc_miss_extra_stall t.params ~config
+      in
+      let queueing =
+        t.params.Core_model.fetch_exposure *. channel_delay t
+      in
+      t.cycles <-
+        t.cycles
+        +. (t.compute_scale *. (stall -. miss_extra))
+        +. miss_extra +. queueing;
+      t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
+    end
+    else t.cycles <- t.cycles +. (t.compute_scale *. stall)
+  done
+
+let step t ~cap =
+  let phase = Generator.current_phase t.generator in
+  let op = Generator.next t.generator ~cap in
+  t.cycles <-
+    t.cycles
+    +. (t.compute_scale
+       *. float_of_int op.Op.instructions
+       *. phase.Benchmark.base_cpi);
+  issue_fetches t op.Op.instructions;
+  (match op.Op.access with
+  | None -> ()
+  | Some { Op.addr; kind } ->
+      let kind =
+        match kind with Op.Load -> Hierarchy.Load | Op.Store -> Hierarchy.Store
+      in
+      let result = Hierarchy.access t.hierarchy ~kind ~addr in
+      let mlp = phase.Benchmark.mlp in
+      let stall = Core_model.data_stall t.params ~mlp result in
+      note_llc t result;
+      if result.hit_level = Hierarchy.Memory then begin
+        let miss_extra =
+          Core_model.llc_miss_extra_stall t.params
+            ~config:(Hierarchy.config t.hierarchy)
+            ~mlp
+        in
+        let queueing =
+          t.params.Core_model.memory_exposure *. channel_delay t /. mlp
+        in
+        t.cycles <-
+          t.cycles
+          +. (t.compute_scale *. (stall -. miss_extra))
+          +. miss_extra +. queueing;
+        t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
+      end
+      else t.cycles <- t.cycles +. (t.compute_scale *. stall));
+  op.Op.instructions
+
+let retired t = Generator.retired t.generator
+let cycles t = t.cycles
+let memory_stall_cycles t = t.memory_stall_cycles
+let llc_accesses t = t.llc_accesses
+let llc_misses t = t.llc_misses
+
+type snapshot = {
+  s_retired : int;
+  s_cycles : float;
+  s_memory_stall_cycles : float;
+  s_llc_accesses : int;
+  s_llc_misses : int;
+}
+
+let snapshot t =
+  {
+    s_retired = retired t;
+    s_cycles = t.cycles;
+    s_memory_stall_cycles = t.memory_stall_cycles;
+    s_llc_accesses = t.llc_accesses;
+    s_llc_misses = t.llc_misses;
+  }
+
+let since t s =
+  {
+    s_retired = retired t - s.s_retired;
+    s_cycles = t.cycles -. s.s_cycles;
+    s_memory_stall_cycles = t.memory_stall_cycles -. s.s_memory_stall_cycles;
+    s_llc_accesses = t.llc_accesses - s.s_llc_accesses;
+    s_llc_misses = t.llc_misses - s.s_llc_misses;
+  }

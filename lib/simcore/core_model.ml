@@ -1,0 +1,54 @@
+module Hierarchy = Mppm_cache.Hierarchy
+
+type params = {
+  width : int;
+  rob_entries : int;
+  l2_exposure : float;
+  llc_exposure : float;
+  memory_exposure : float;
+  fetch_exposure : float;
+}
+
+let default =
+  {
+    width = 4;
+    rob_entries = 128;
+    l2_exposure = 0.35;
+    llc_exposure = 0.55;
+    memory_exposure = 0.85;
+    fetch_exposure = 0.70;
+  }
+
+(* The L1 hit latency is pipelined away; only latency beyond it can stall. *)
+let extra_latency (result : Hierarchy.result) =
+  float_of_int (max 0 (result.latency - 1))
+
+let data_stall params ~mlp (result : Hierarchy.result) =
+  match result.hit_level with
+  | Hierarchy.L1 -> 0.0
+  | Hierarchy.L2 -> params.l2_exposure *. extra_latency result
+  | Hierarchy.Llc -> params.llc_exposure *. extra_latency result /. mlp
+  | Hierarchy.Memory -> params.memory_exposure *. extra_latency result /. mlp
+
+let fetch_stall params (result : Hierarchy.result) =
+  match result.hit_level with
+  | Hierarchy.L1 -> 0.0
+  | Hierarchy.L2 | Hierarchy.Llc | Hierarchy.Memory ->
+      params.fetch_exposure *. extra_latency result
+
+let llc_miss_extra_stall params ~config ~mlp =
+  let llc_latency = config.Hierarchy.llc.latency in
+  let miss_latency = llc_latency + config.Hierarchy.memory_latency in
+  (params.memory_exposure *. float_of_int (miss_latency - 1) /. mlp)
+  -. (params.llc_exposure *. float_of_int (llc_latency - 1) /. mlp)
+
+let fetch_llc_miss_extra_stall params ~config =
+  let llc_latency = config.Hierarchy.llc.latency in
+  let miss_latency = llc_latency + config.Hierarchy.memory_latency in
+  params.fetch_exposure *. float_of_int (miss_latency - llc_latency)
+
+let pp ppf params =
+  Format.fprintf ppf
+    "%d-wide, %d-entry ROB; exposure L2 %.2f / LLC %.2f / mem %.2f / fetch %.2f"
+    params.width params.rob_entries params.l2_exposure params.llc_exposure
+    params.memory_exposure params.fetch_exposure

@@ -1,0 +1,51 @@
+(** The out-of-order core timing abstraction shared by the single-core and
+    multi-core simulators.
+
+    The paper's CMP$im cores (Table 1: 4-wide, 8-stage, 128-entry ROB,
+    perfect branch prediction) are modelled as a base CPI for the
+    non-memory pipeline plus an exposed-stall model for the memory
+    hierarchy: an access that hits level X exposes a level-dependent
+    fraction of X's latency (the rest is hidden by out-of-order execution),
+    and off-core accesses are further divided by the workload's
+    memory-level parallelism.  Both simulators use exactly this model, so
+    the "detailed" reference and MPPM's single-core inputs are mutually
+    consistent — the same relationship CMP$im has to itself in the paper. *)
+
+type params = {
+  width : int;  (** pipeline width (descriptive; Table 1: 4) *)
+  rob_entries : int;  (** ROB size (descriptive; Table 1: 128) *)
+  l2_exposure : float;
+      (** fraction of an L2 hit's extra latency the core cannot hide *)
+  llc_exposure : float;  (** same for LLC hits *)
+  memory_exposure : float;  (** same for memory accesses (LLC misses) *)
+  fetch_exposure : float;
+      (** fraction of miss latency exposed on the fetch path (front-end
+          stalls are harder to hide than data stalls) *)
+}
+
+val default : params
+(** Calibrated defaults for the Table 1 core. *)
+
+val data_stall : params -> mlp:float -> Mppm_cache.Hierarchy.result -> float
+(** [data_stall params ~mlp result] is the exposed stall (cycles) of a data
+    access satisfied as [result].  L1 hits stall nothing (their latency is
+    folded into the base CPI); deeper hits expose
+    [exposure * (latency - 1)]; LLC and memory stalls are divided by
+    [mlp]. *)
+
+val fetch_stall : params -> Mppm_cache.Hierarchy.result -> float
+(** Exposed stall of an instruction fetch. *)
+
+val llc_miss_extra_stall : params -> config:Mppm_cache.Hierarchy.config -> mlp:float -> float
+(** [llc_miss_extra_stall params ~config ~mlp] is the stall a data access
+    suffers {e because} it missed the LLC: the difference between its
+    memory stall and the stall it would have suffered as an LLC hit.  This
+    is the per-event increment of the memory-CPI counter architecture
+    (Eyerman et al.), and by construction equals the two-run
+    (perfect-vs-real LLC) difference. *)
+
+val fetch_llc_miss_extra_stall :
+  params -> config:Mppm_cache.Hierarchy.config -> float
+(** Same quantity for a fetch that missed the LLC. *)
+
+val pp : Format.formatter -> params -> unit

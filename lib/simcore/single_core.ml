@@ -1,0 +1,107 @@
+module Hierarchy = Mppm_cache.Hierarchy
+module Sdc_profiler = Mppm_cache.Sdc_profiler
+module Generator = Mppm_trace.Generator
+module Profile = Mppm_profile.Profile
+
+type run_config = {
+  hierarchy : Hierarchy.config;
+  core : Core_model.params;
+  perfect_llc : bool;
+  bandwidth : float option;
+}
+
+let config ?(core = Core_model.default) ?(perfect_llc = false) ?bandwidth
+    hierarchy =
+  { hierarchy; core; perfect_llc; bandwidth }
+
+type totals = {
+  instructions : int;
+  cycles : float;
+  cpi : float;
+  memory_stall_cycles : float;
+  memory_cpi : float;
+  llc_accesses : int;
+  llc_misses : int;
+}
+
+let build_engine ?sdc_profiler ?(offset = 0) ?compute_scale cfg ~benchmark
+    ~seed =
+  let generator = Generator.create ~offset ~seed benchmark in
+  let hierarchy = Hierarchy.create ~perfect_llc:cfg.perfect_llc cfg.hierarchy in
+  let memory_channel =
+    Option.map
+      (fun transfer_cycles -> Memory_channel.create ~transfer_cycles)
+      cfg.bandwidth
+  in
+  Core_engine.create ?sdc_profiler ?memory_channel ?compute_scale
+    ~params:cfg.core ~hierarchy ~generator ()
+
+let run ?offset ?compute_scale cfg ~benchmark ~seed ~instructions =
+  if instructions <= 0 then invalid_arg "Single_core.run: instructions <= 0";
+  let engine = build_engine ?offset ?compute_scale cfg ~benchmark ~seed in
+  let remaining = ref instructions in
+  while !remaining > 0 do
+    remaining := !remaining - Core_engine.step engine ~cap:!remaining
+  done;
+  let cycles = Core_engine.cycles engine in
+  let stall = Core_engine.memory_stall_cycles engine in
+  {
+    instructions;
+    cycles;
+    cpi = cycles /. float_of_int instructions;
+    memory_stall_cycles = stall;
+    memory_cpi = stall /. float_of_int instructions;
+    llc_accesses = Core_engine.llc_accesses engine;
+    llc_misses = Core_engine.llc_misses engine;
+  }
+
+let profile ?offset ?compute_scale cfg ~benchmark ~seed ~trace_instructions
+    ~interval_instructions =
+  if cfg.perfect_llc then
+    invalid_arg "Single_core.profile: profiling requires a real LLC";
+  if
+    interval_instructions <= 0
+    || trace_instructions <= 0
+    || trace_instructions mod interval_instructions <> 0
+  then
+    invalid_arg
+      "Single_core.profile: trace length must be a positive multiple of the \
+       interval length";
+  let sdc_profiler = Sdc_profiler.create cfg.hierarchy.Hierarchy.llc.geometry in
+  let engine =
+    build_engine ~sdc_profiler ?offset ?compute_scale cfg ~benchmark ~seed
+  in
+  let n_intervals = trace_instructions / interval_instructions in
+  let intervals =
+    Array.init n_intervals (fun _ ->
+        let start = Core_engine.snapshot engine in
+        let remaining = ref interval_instructions in
+        while !remaining > 0 do
+          remaining := !remaining - Core_engine.step engine ~cap:!remaining
+        done;
+        let delta = Core_engine.since engine start in
+        {
+          Profile.instructions = delta.Core_engine.s_retired;
+          cycles = delta.Core_engine.s_cycles;
+          memory_stall_cycles = delta.Core_engine.s_memory_stall_cycles;
+          llc_accesses = float_of_int delta.Core_engine.s_llc_accesses;
+          llc_misses = float_of_int delta.Core_engine.s_llc_misses;
+          sdc = Sdc_profiler.cut_interval sdc_profiler;
+        })
+  in
+  Profile.make ~benchmark:benchmark.Mppm_trace.Benchmark.name
+    ~interval_instructions
+    ~llc_assoc:cfg.hierarchy.Hierarchy.llc.geometry.Mppm_cache.Geometry.associativity
+    intervals
+
+let memory_cpi_two_run ?offset ?compute_scale cfg ~benchmark ~seed
+    ~instructions =
+  let real =
+    run ?offset ?compute_scale { cfg with perfect_llc = false } ~benchmark
+      ~seed ~instructions
+  in
+  let perfect =
+    run ?offset ?compute_scale { cfg with perfect_llc = true } ~benchmark
+      ~seed ~instructions
+  in
+  real.cpi -. perfect.cpi

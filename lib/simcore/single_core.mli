@@ -1,0 +1,79 @@
+(** Single-core simulation: isolated runs and MPPM profile collection
+    (paper Sec. 2.1, the "one-time cost" box of Fig. 1).
+
+    The profiling run executes the benchmark alone on the full hierarchy
+    and records, per interval: cycles, the memory-CPI counter, LLC
+    accesses/misses, and the LLC stack-distance counters. *)
+
+type run_config = {
+  hierarchy : Mppm_cache.Hierarchy.config;
+  core : Core_model.params;
+  perfect_llc : bool;
+      (** make every LLC access hit: the paper's alternative way of
+          isolating the memory CPI component (two-run method) *)
+  bandwidth : float option;
+      (** cycles of memory-channel occupancy per line transfer; [Some _]
+          gives the isolated run a private channel so its profile carries
+          self-queueing ([None] = unlimited bandwidth, the paper's
+          machine) *)
+}
+
+val config :
+  ?core:Core_model.params ->
+  ?perfect_llc:bool ->
+  ?bandwidth:float ->
+  Mppm_cache.Hierarchy.config ->
+  run_config
+(** Convenience constructor; [core] defaults to {!Core_model.default},
+    [perfect_llc] to [false], [bandwidth] to unlimited. *)
+
+type totals = {
+  instructions : int;
+  cycles : float;
+  cpi : float;
+  memory_stall_cycles : float;
+  memory_cpi : float;
+  llc_accesses : int;
+  llc_misses : int;
+}
+
+val run :
+  ?offset:int ->
+  ?compute_scale:float ->
+  run_config ->
+  benchmark:Mppm_trace.Benchmark.t ->
+  seed:int ->
+  instructions:int ->
+  totals
+(** [run config ~benchmark ~seed ~instructions] executes the benchmark in
+    isolation for [instructions] instructions and returns aggregate
+    numbers.  With [perfect_llc = true], [memory_cpi] and [llc_misses] are
+    zero by construction.  [compute_scale] models a heterogeneous "little"
+    core (see {!Core_engine.create}). *)
+
+val profile :
+  ?offset:int ->
+  ?compute_scale:float ->
+  run_config ->
+  benchmark:Mppm_trace.Benchmark.t ->
+  seed:int ->
+  trace_instructions:int ->
+  interval_instructions:int ->
+  Mppm_profile.Profile.t
+(** [profile config ~benchmark ~seed ~trace_instructions
+    ~interval_instructions] collects the per-interval MPPM profile.
+    [trace_instructions] must be a positive multiple of
+    [interval_instructions].  [config.perfect_llc] must be [false] (a
+    perfect-LLC profile has no SDC content). *)
+
+val memory_cpi_two_run :
+  ?offset:int ->
+  ?compute_scale:float ->
+  run_config ->
+  benchmark:Mppm_trace.Benchmark.t ->
+  seed:int ->
+  instructions:int ->
+  float
+(** The paper's two-run method: CPI with the real LLC minus CPI with a
+    perfect LLC.  Agrees with the counter-based [memory_cpi] of {!run} (the
+    generators are deterministic, so both runs see the same stream). *)

@@ -1,0 +1,99 @@
+module Rng = Mppm_util.Rng
+
+type result = {
+  assignment : int array;
+  centroids : float array array;
+  inertia : float;
+  iterations : int;
+}
+
+let squared_distance a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let closest centroids point =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = squared_distance c point in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centroids;
+  !best
+
+(* k-means++: seed centroids proportionally to squared distance from the
+   nearest already-chosen centroid. *)
+let seed_centroids rng ~k points =
+  let n = Array.length points in
+  let chosen = ref [ Array.copy points.(Rng.int rng n) ] in
+  while List.length !chosen < k do
+    let centroids = Array.of_list !chosen in
+    let weights =
+      Array.map (fun p -> squared_distance p centroids.(closest centroids p)) points
+    in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let pick =
+      if total <= 0.0 then points.(Rng.int rng n)
+      else points.(Rng.pick_weighted rng ~weights)
+    in
+    chosen := Array.copy pick :: !chosen
+  done;
+  Array.of_list (List.rev !chosen)
+
+let cluster ?(max_iterations = 100) ?(seed = 1) ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.cluster: no points";
+  if k <= 0 then invalid_arg "Kmeans.cluster: k <= 0";
+  let dim = Array.length points.(0) in
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then invalid_arg "Kmeans.cluster: ragged points")
+    points;
+  let k = min k n in
+  let rng = Rng.create ~seed in
+  let centroids = ref (seed_centroids rng ~k points) in
+  let assignment = Array.make n (-1) in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iterations do
+    incr iterations;
+    changed := false;
+    (* Assign. *)
+    Array.iteri
+      (fun i p ->
+        let c = closest !centroids p in
+        if c <> assignment.(i) then begin
+          assignment.(i) <- c;
+          changed := true
+        end)
+      points;
+    (* Update. *)
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i p ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Array.iteri (fun d v -> sums.(c).(d) <- sums.(c).(d) +. v) p)
+      points;
+    centroids :=
+      Array.mapi
+        (fun c sum ->
+          if counts.(c) = 0 then
+            (* Re-seed an emptied cluster on a random point. *)
+            Array.copy points.(Rng.int rng n)
+          else Array.map (fun v -> v /. float_of_int counts.(c)) sum)
+        sums
+  done;
+  let inertia =
+    Array.to_list points
+    |> List.mapi (fun i p -> squared_distance p !centroids.(assignment.(i)))
+    |> List.fold_left ( +. ) 0.0
+  in
+  { assignment; centroids = !centroids; inertia; iterations = !iterations }

@@ -1,0 +1,28 @@
+(** Lloyd's k-means with k-means++ seeding: the clustering engine behind
+    the SimPoint-style phase analysis (Sherwood et al., ASPLOS 2002 — the
+    paper's reference [13] for picking representative simulation points). *)
+
+type result = {
+  assignment : int array;  (** cluster index per input point *)
+  centroids : float array array;
+  inertia : float;  (** sum of squared distances to assigned centroids *)
+  iterations : int;
+}
+
+val cluster :
+  ?max_iterations:int ->
+  ?seed:int ->
+  k:int ->
+  float array array ->
+  result
+(** [cluster ~k points] clusters the points (all of equal dimension) into
+    at most [k] groups.  [k] is clamped to the number of points.  k-means++
+    initialization, Lloyd iterations until assignments stabilize or
+    [max_iterations] (default 100).  Deterministic for a fixed [seed]
+    (default 1).  Raises [Invalid_argument] on empty input, k <= 0, or
+    ragged dimensions. *)
+
+val squared_distance : float array -> float array -> float
+
+val closest : float array array -> float array -> int
+(** Index of the nearest centroid. *)

@@ -1,0 +1,42 @@
+(** SimPoint-style phase analysis over MPPM profiles.
+
+    The paper's methodology leans on SimPoint (Sherwood et al., its
+    reference [13]) to pick representative simulation points.  Here the
+    same idea is applied to the model's input: a profile's per-interval
+    statistics form feature vectors; k-means groups the intervals into
+    phases; and a profile can then be {e quantized} (every interval
+    replaced by its phase representative, preserving order — lossy
+    deduplication) for faster, smaller MPPM inputs.
+
+    This doubles as an analysis tool: {!phases_of_profile} recovers the
+    phase structure the synthetic benchmarks were built with. *)
+
+type phases = {
+  assignment : int array;  (** phase index per profile interval *)
+  representatives : int array;
+      (** per phase, the index of the interval closest to the centroid *)
+  weights : float array;  (** per phase, fraction of intervals it covers *)
+}
+
+val features_of_profile : Mppm_profile.Profile.t -> float array array
+(** Per-interval feature vectors: CPI, memory CPI, LLC accesses and misses
+    per kilo-instruction, and the SDC shape (normalized counters) — each
+    dimension winsorized at its 5th/95th percentile and range-normalized
+    to [0, 1], so neither scale differences nor a single cold-start
+    outlier interval dominate the clustering distance. *)
+
+val phases_of_profile :
+  ?k:int -> ?seed:int -> Mppm_profile.Profile.t -> phases
+(** [phases_of_profile ~k profile] clusters the intervals into at most [k]
+    phases (default 8). *)
+
+val quantize :
+  ?k:int -> ?seed:int -> Mppm_profile.Profile.t -> Mppm_profile.Profile.t
+(** [quantize ~k profile] replaces every interval with its phase
+    representative, preserving interval order and count.  The result is a
+    valid MPPM input whose distinct-interval content is at most [k]; the
+    bench's simpoint section measures the model-accuracy cost. *)
+
+val distinct_intervals : Mppm_profile.Profile.t -> int
+(** Number of structurally distinct intervals (diagnostic: 1 for a
+    stationary benchmark's quantized profile). *)

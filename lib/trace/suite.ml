@@ -1,0 +1,436 @@
+(* Parameter notes.  Region sizes are chosen against the paper's hierarchy:
+   32KB L1D / 256KB private L2 / 512KB (config #1) shared LLC.  A region
+   under ~32KB is L1-resident, under ~256KB is L2-resident and never
+   stresses the LLC, between ~300KB and ~1MB is the LLC-sensitive band
+   (hits when alone, thrashes when shared), and multi-MB regions miss the
+   LLC regardless and make a benchmark memory-bound but sharing-
+   insensitive.  Streaming kernels use Strided patterns with sub-line
+   strides (8-24B), so they touch a new line only every few accesses —
+   the spatial locality real sweeps have.  [mlp] divides exposed miss
+   latency: pointer chasers get ~1.1-1.4, software-pipelined streams 3-4.
+
+   Code: fetches cycle through [hot] bytes (hitting L1I iff it fits 32KB)
+   and take cold excursions over the full [code] footprint at rate
+   [cold]; big-code benchmarks (gcc, perlbench, xalancbmk, ...) get hot
+   loops above 32KB and visible cold rates. *)
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let region ?(pattern = Benchmark.Uniform) name size weight =
+  {
+    Benchmark.region_name = name;
+    size_bytes = size;
+    weight;
+    region_pattern = pattern;
+  }
+
+let phase ?(store = 0.30) ?(mlp = 1.5) name ~cpi ~mem regions =
+  {
+    Benchmark.phase_name = name;
+    base_cpi = cpi;
+    mem_ratio = mem;
+    store_fraction = store;
+    mlp;
+    regions;
+  }
+
+let bench ?(code = kb 64) ?(hot = kb 16) ?(cold = 0.005) name ~description
+    schedule =
+  let b =
+    {
+      Benchmark.name;
+      description;
+      schedule;
+      code_bytes = code;
+      hot_code_bytes = min hot code;
+      cold_fetch_rate = cold;
+    }
+  in
+  Benchmark.validate b;
+  b
+
+(* Phase durations are in instructions, sized so that phases alternate
+   several times within the default experiment scale (2M-10M instruction
+   traces, 1:100 of the paper's 1B). *)
+let steady p = [ (p, 1_000_000) ]
+
+(* ------------------------------------------------------------------ *)
+(* SPEC CPU2006 integer                                                *)
+(* ------------------------------------------------------------------ *)
+
+let perlbench =
+  bench "perlbench" ~description:"Perl interpreter: large code, medium heap"
+    ~code:(kb 512) ~hot:(kb 40) ~cold:0.02
+    (steady
+       (phase "interp" ~cpi:0.55 ~mem:0.34 ~mlp:1.4
+          [
+            region "stack" (kb 24) 5.0;
+            region "heap" (kb 144) 2.0;
+            region "cold-heap" (mb 2) 0.02;
+          ]))
+
+let bzip2 =
+  bench "bzip2" ~description:"block compression, compress/decompress phases"
+    ~code:(kb 48) ~hot:(kb 12)
+    [
+      ( phase "compress" ~cpi:0.52 ~mem:0.30 ~mlp:1.8 ~store:0.35
+          [
+            region "block" ~pattern:(Benchmark.Strided 16) (kb 880) 0.5;
+            region "tables" (kb 56) 2.2;
+          ],
+        400_000 );
+      ( phase "decompress" ~cpi:0.45 ~mem:0.26 ~mlp:2.0 ~store:0.40
+          [
+            region "block" ~pattern:(Benchmark.Strided 16) (kb 880) 0.35;
+            region "tables" (kb 56) 2.6;
+          ],
+        300_000 );
+    ]
+
+let gcc =
+  bench "gcc" ~description:"compiler: huge code footprint, pass-structured phases"
+    ~code:(mb 1) ~hot:(kb 48) ~cold:0.03
+    [
+      ( phase "parse" ~cpi:0.60 ~mem:0.30 ~mlp:1.4
+          [
+            region "ast" (kb 700) 0.18;
+            region "symtab" (kb 88) 2.0;
+          ],
+        350_000 );
+      ( phase "optimize" ~cpi:0.55 ~mem:0.34 ~mlp:1.3
+          [
+            region "ast" (kb 700) 0.30;
+            region "dataflow" (kb 380) 0.18;
+            region "symtab" (kb 88) 1.6;
+          ],
+        450_000 );
+    ]
+
+let mcf =
+  bench "mcf" ~description:"network simplex: giant pointer-chased arcs array"
+    ~code:(kb 16) ~hot:(kb 8)
+    (steady
+       (phase "simplex" ~cpi:0.42 ~mem:0.36 ~mlp:1.4
+          [
+            region "arcs" (mb 24) 1.0;
+            region "nodes" (kb 56) 8.0;
+          ]))
+
+let gobmk =
+  bench "gobmk" ~description:"Go engine: board caches in the LLC-sensitive band"
+    ~code:(kb 384) ~hot:(kb 36) ~cold:0.02
+    (steady
+       (phase "search" ~cpi:0.55 ~mem:0.27 ~mlp:1.3
+          [
+            region "patterns" (kb 360) 0.12;
+            region "board" (kb 40) 3.0;
+          ]))
+
+let hmmer =
+  bench "hmmer" ~description:"profile HMM search: hot L1/L2-resident matrices"
+    ~code:(kb 32) ~hot:(kb 8)
+    (steady
+       (phase "viterbi" ~cpi:0.42 ~mem:0.42 ~mlp:4.0 ~store:0.25
+          [
+            region "dp-matrix" (kb 24) 1.0;
+            region "model" (kb 16) 1.0;
+          ]))
+
+let sjeng =
+  bench "sjeng" ~description:"chess: hash probes into a big transposition table"
+    ~code:(kb 96) ~hot:(kb 24) ~cold:0.01
+    (steady
+       (phase "search" ~cpi:0.50 ~mem:0.24 ~mlp:1.2
+          [
+            region "ttable" (mb 2) 0.05;
+            region "board" (kb 120) 1.6;
+          ]))
+
+let libquantum =
+  bench "libquantum" ~description:"quantum simulation: pure streaming, prefetchable"
+    ~code:(kb 16) ~hot:(kb 6)
+    (steady
+       (phase "gates" ~cpi:0.36 ~mem:0.26 ~mlp:3.8 ~store:0.45
+          [
+            region "state" ~pattern:(Benchmark.Strided 8) (kb 1536) 1.0;
+            region "scratch" (kb 16) 0.4;
+          ]))
+
+let h264ref =
+  bench "h264ref" ~description:"video encoder: frame buffers around LLC size"
+    ~code:(kb 256) ~hot:(kb 28) ~cold:0.012
+    [
+      ( phase "motion-est" ~cpi:0.50 ~mem:0.36 ~mlp:1.8
+          [
+            region "ref-frame" ~pattern:(Benchmark.Strided 16) (kb 560) 0.45;
+            region "macroblock" (kb 48) 2.4;
+          ],
+        350_000 );
+      ( phase "encode" ~cpi:0.46 ~mem:0.30 ~mlp:2.0 ~store:0.4
+          [
+            region "cur-frame" ~pattern:(Benchmark.Strided 16) (kb 560) 0.5;
+            region "macroblock" (kb 48) 2.0;
+          ],
+        250_000 );
+    ]
+
+let omnetpp =
+  bench "omnetpp" ~description:"discrete event simulation: pointer-heavy LLC-band heap"
+    ~code:(kb 320) ~hot:(kb 30) ~cold:0.015
+    (steady
+       (phase "events" ~cpi:0.55 ~mem:0.31 ~mlp:1.25
+          [
+            region "heap" (kb 640) 0.10;
+            region "event-queue" (kb 64) 2.0;
+          ]))
+
+let astar =
+  bench "astar" ~description:"path finding: map scans alternating with queue work"
+    ~code:(kb 32) ~hot:(kb 10)
+    [
+      ( phase "expand" ~cpi:0.48 ~mem:0.32 ~mlp:1.3
+          [
+            region "map" (mb 1) 0.16;
+            region "open-list" (kb 88) 1.4;
+          ],
+        300_000 );
+      ( phase "backtrack" ~cpi:0.44 ~mem:0.24 ~mlp:1.2
+          [
+            region "map" (mb 1) 0.06;
+            region "open-list" (kb 88) 2.2;
+          ],
+        200_000 );
+    ]
+
+let xalancbmk =
+  bench "xalancbmk" ~description:"XSLT processor: DOM in the LLC-sensitive band"
+    ~code:(kb 768) ~hot:(kb 44) ~cold:0.025
+    (steady
+       (phase "transform" ~cpi:0.55 ~mem:0.33 ~mlp:1.35
+          [
+            region "dom" (kb 600) 0.13;
+            region "strings" (kb 56) 2.4;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* SPEC CPU2006 floating point                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bwaves =
+  bench "bwaves" ~description:"blast waves CFD: long prefetchable sweeps"
+    ~code:(kb 24) ~hot:(kb 8)
+    [
+      ( phase "sweep-x" ~cpi:0.45 ~mem:0.40 ~mlp:3.4 ~store:0.35
+          [
+            region "grid" ~pattern:(Benchmark.Strided 8) (kb 2560) 1.0;
+            region "coeffs" (kb 96) 0.5;
+          ],
+        400_000 );
+      ( phase "sweep-y" ~cpi:0.45 ~mem:0.40 ~mlp:2.6 ~store:0.35
+          [
+            region "grid" ~pattern:(Benchmark.Strided 24) (kb 2560) 1.0;
+            region "coeffs" (kb 96) 0.5;
+          ],
+        400_000 );
+    ]
+
+let gamess =
+  bench "gamess" ~description:"quantum chemistry: integral table exactly in the LLC band"
+    ~code:(kb 192) ~hot:(kb 26) ~cold:0.008
+    (steady
+       (phase "scf" ~cpi:0.40 ~mem:0.28 ~mlp:1.05
+          [
+            region "integrals" (kb 320) 0.22;
+            region "fock" (kb 112) 1.8;
+          ]))
+
+let milc =
+  bench "milc" ~description:"lattice QCD: strided gather/scatter over a big lattice"
+    ~code:(kb 32) ~hot:(kb 10)
+    (steady
+       (phase "cg" ~cpi:0.50 ~mem:0.38 ~mlp:2.8 ~store:0.35
+          [
+            region "lattice" ~pattern:(Benchmark.Strided 16) (kb 2560) 1.0;
+            region "vectors" (kb 112) 1.5;
+          ]))
+
+let zeusmp =
+  bench "zeusmp" ~description:"astrophysics CFD: streaming with resident coefficients"
+    ~code:(kb 48) ~hot:(kb 14)
+    (steady
+       (phase "hydro" ~cpi:0.50 ~mem:0.35 ~mlp:3.0 ~store:0.35
+          [
+            region "grid" ~pattern:(Benchmark.Strided 12) (mb 2) 1.0;
+            region "coeffs" (kb 120) 0.8;
+          ]))
+
+let gromacs =
+  bench "gromacs" ~description:"molecular dynamics: compute-bound inner kernels"
+    ~code:(kb 128) ~hot:(kb 12)
+    (steady
+       (phase "forces" ~cpi:0.48 ~mem:0.30 ~mlp:2.2
+          [
+            region "neighbors" (kb 96) 1.0;
+            region "positions" (kb 32) 1.4;
+          ]))
+
+let cactusadm =
+  bench "cactusADM" ~description:"numerical relativity: stencil sweeps"
+    ~code:(kb 64) ~hot:(kb 18)
+    (steady
+       (phase "stencil" ~cpi:0.55 ~mem:0.36 ~mlp:3.0 ~store:0.3
+          [
+            region "grid" ~pattern:(Benchmark.Strided 24) (mb 3) 1.0;
+            region "halo" (kb 80) 2.5;
+          ]))
+
+let leslie3d =
+  bench "leslie3d" ~description:"turbulence CFD: streaming sweeps"
+    ~code:(kb 40) ~hot:(kb 12)
+    (steady
+       (phase "flux" ~cpi:0.50 ~mem:0.40 ~mlp:3.2 ~store:0.35
+          [
+            region "grid" ~pattern:(Benchmark.Strided 8) (kb 2048) 1.0;
+            region "faces" (kb 96) 0.6;
+          ]))
+
+let namd =
+  bench "namd" ~description:"molecular dynamics: tight compute loops"
+    ~code:(kb 96) ~hot:(kb 10)
+    (steady
+       (phase "forces" ~cpi:0.40 ~mem:0.32 ~mlp:2.6
+          [
+            region "pairlists" (kb 112) 1.0;
+            region "atoms" (kb 32) 1.5;
+          ]))
+
+let dealii =
+  bench "dealII" ~description:"adaptive FEM: matrix structures straddling the LLC"
+    ~code:(kb 448) ~hot:(kb 32) ~cold:0.015
+    (steady
+       (phase "assemble" ~cpi:0.50 ~mem:0.34 ~mlp:1.5
+          [
+            region "sparse-matrix" (kb 420) 0.11;
+            region "cells" (kb 64) 2.0;
+          ]))
+
+let soplex =
+  bench "soplex" ~description:"simplex LP: matrix bigger than the LLC, partial reuse"
+    ~code:(kb 256) ~hot:(kb 24) ~cold:0.01
+    (steady
+       (phase "pricing" ~cpi:0.45 ~mem:0.37 ~mlp:1.6
+          [
+            region "matrix" (kb 880) 0.28;
+            region "basis" (kb 96) 1.2;
+            region "workvec" (kb 24) 1.5;
+          ]))
+
+let povray =
+  bench "povray" ~description:"ray tracing: small hot scene graph, compute-bound"
+    ~code:(kb 320) ~hot:(kb 22) ~cold:0.008
+    (steady
+       (phase "trace" ~cpi:0.46 ~mem:0.30 ~mlp:1.6
+          [
+            region "scene" (kb 80) 1.0;
+            region "stack" (kb 16) 2.0;
+          ]))
+
+let calculix =
+  bench "calculix" ~description:"structural FEM: resident solver with cold matrix tail"
+    ~code:(kb 192) ~hot:(kb 20) ~cold:0.008
+    (steady
+       (phase "solve" ~cpi:0.50 ~mem:0.32 ~mlp:2.0
+          [
+            region "front" (kb 160) 1.0;
+            region "matrix" (mb 1) 0.05;
+          ]))
+
+let gemsfdtd =
+  bench "GemsFDTD" ~description:"electromagnetics FDTD: field sweeps"
+    ~code:(kb 48) ~hot:(kb 14)
+    (steady
+       (phase "update" ~cpi:0.50 ~mem:0.42 ~mlp:3.0 ~store:0.4
+          [
+            region "fields" ~pattern:(Benchmark.Strided 8) (mb 3) 1.0;
+            region "boundary" (kb 64) 0.4;
+          ]))
+
+let tonto =
+  bench "tonto" ~description:"quantum crystallography: compute-bound with moderate tail"
+    ~code:(kb 256) ~hot:(kb 26) ~cold:0.008
+    (steady
+       (phase "integrals" ~cpi:0.50 ~mem:0.30 ~mlp:1.8
+          [
+            region "basis" (kb 144) 1.0;
+            region "density" (kb 512) 0.04;
+          ]))
+
+let lbm =
+  bench "lbm" ~description:"lattice Boltzmann: store-heavy pure streaming"
+    ~code:(kb 16) ~hot:(kb 6)
+    (steady
+       (phase "collide" ~cpi:0.40 ~mem:0.44 ~mlp:3.8 ~store:0.48
+          [
+            region "cells" ~pattern:(Benchmark.Strided 8) (mb 3) 1.0;
+          ]))
+
+let wrf =
+  bench "wrf" ~description:"weather model: physics/dynamics phase alternation"
+    ~code:(kb 512) ~hot:(kb 30) ~cold:0.01
+    [
+      ( phase "dynamics" ~cpi:0.50 ~mem:0.36 ~mlp:2.8 ~store:0.35
+          [
+            region "atmosphere" ~pattern:(Benchmark.Strided 16) (mb 2 + kb 512) 0.8;
+            region "tendencies" (kb 176) 1.0;
+          ],
+        350_000 );
+      ( phase "physics" ~cpi:0.55 ~mem:0.28 ~mlp:1.8
+          [
+            region "columns" (kb 144) 1.6;
+            region "tendencies" (kb 176) 0.8;
+          ],
+        300_000 );
+    ]
+
+let sphinx3 =
+  bench "sphinx3" ~description:"speech recognition: acoustic model scans"
+    ~code:(kb 160) ~hot:(kb 22) ~cold:0.01
+    (steady
+       (phase "gmm" ~cpi:0.50 ~mem:0.36 ~mlp:2.0
+          [
+            region "acoustic-model" (mb 1 + kb 768) 0.15;
+            region "active-list" (kb 72) 1.4;
+          ]))
+
+let all =
+  [|
+    perlbench; bzip2; gcc; mcf; gobmk; hmmer; sjeng; libquantum; h264ref;
+    omnetpp; astar; xalancbmk; bwaves; gamess; milc; zeusmp; gromacs;
+    cactusadm; leslie3d; namd; dealii; soplex; povray; calculix; gemsfdtd;
+    tonto; lbm; wrf; sphinx3;
+  |]
+
+let count = Array.length all
+let names = Array.map (fun b -> b.Benchmark.name) all
+
+let index name =
+  let rec scan i =
+    if i >= count then raise Not_found
+    else if names.(i) = name then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let find name = all.(index name)
+
+let seed_for name =
+  (* Stable FNV-1a hash of the name: profiles regenerated in any session
+     describe the same synthetic program. *)
+  let h = ref 0x1ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  !h land max_int

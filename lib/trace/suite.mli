@@ -1,0 +1,38 @@
+(** The synthetic benchmark suite standing in for SPEC CPU2006.
+
+    Twenty-nine benchmarks named after the SPEC CPU2006 programs, each a
+    {!Benchmark.t} statistical model calibrated against the paper's cache
+    hierarchy (32KB L1, 256KB private L2, 512KB-2MB shared LLC):
+
+    {ul
+    {- {e compute-bound / cache-resident} models (hmmer, povray, namd,
+       gromacs, ...) whose working sets fit in the private levels;}
+    {- {e LLC-sensitive} models (gamess above all, then gobmk, soplex,
+       omnetpp, h264ref, xalancbmk, dealII) whose hot data fits the LLC when
+       run alone but thrashes under sharing — the paper's Sec. 6 finds
+       exactly this set to be the sharing-sensitive one;}
+    {- {e memory-bound streaming} models (mcf, lbm, libquantum, milc,
+       bwaves, leslie3d, GemsFDTD, ...) whose footprints dwarf any LLC and
+       who therefore care little about sharing;}
+    {- phase-alternating models (gcc, bzip2, astar, wrf, bwaves, ...) that
+       exercise MPPM's per-interval time-varying machinery.}} *)
+
+val all : Benchmark.t array
+(** The 29 benchmarks, in a fixed order (index = benchmark id). *)
+
+val count : int
+(** [Array.length all] = 29, matching the paper's workload population
+    arithmetic (435 two-program mixes, 35,960 four-program mixes, ...). *)
+
+val names : string array
+(** Benchmark names, same order as {!all}. *)
+
+val find : string -> Benchmark.t
+(** [find name] looks a benchmark up by name.  Raises [Not_found]. *)
+
+val index : string -> int
+(** Position of a benchmark name in {!all}.  Raises [Not_found]. *)
+
+val seed_for : string -> int
+(** A stable per-benchmark generator seed derived from the name, so every
+    run of the tooling sees the same program. *)

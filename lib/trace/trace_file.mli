@@ -1,0 +1,50 @@
+(** Recording and replaying memory-reference traces.
+
+    The paper's simulator (CMP$im, from the Cache Replacement
+    Championship) is driven by address traces; this module provides the
+    equivalent interchange format for our synthetic programs: a compact
+    binary file of data references (address + load/store + the compute gap
+    before the reference).  A recorded trace replays bit-identically
+    through cache models and stack-distance profilers without the
+    generator, and lets cache studies run on machines/geometries the
+    original profile never saw.
+
+    Format (little-endian, written with [output_binary_int]-compatible
+    framing): a magic line, the benchmark name, the access count, then one
+    record per reference. *)
+
+type meta = {
+  benchmark : string;
+  accesses : int;  (** number of reference records *)
+  instructions : int;  (** instructions covered (gaps + references) *)
+}
+
+val record :
+  path:string ->
+  generator:Generator.t ->
+  accesses:int ->
+  unit ->
+  meta
+(** [record ~path ~generator ~accesses ()] pulls ops from the generator
+    until [accesses] data references have been emitted and writes them to
+    [path].  Returns the metadata written. *)
+
+val read_meta : string -> meta
+(** Header only.  Raises [Failure] on a malformed file. *)
+
+val fold :
+  string -> init:'acc -> f:('acc -> gap:int -> Op.access -> 'acc) -> 'acc
+(** [fold path ~init ~f] streams the records: [f acc ~gap access] receives
+    each reference and the compute-instruction gap preceding it.  Raises
+    [Failure] on truncation or corruption (the record count must match the
+    header). *)
+
+val replay_sdc :
+  string -> geometry:Mppm_cache.Geometry.t -> Mppm_cache.Sdc.t
+(** [replay_sdc path ~geometry] runs the trace through a fresh LRU
+    stack-distance profiler of the given geometry and returns the lifetime
+    SDC — the offline equivalent of profiling the generator live. *)
+
+val replay_miss_rate :
+  string -> geometry:Mppm_cache.Geometry.t -> float
+(** Miss rate of the trace on a fresh LRU cache of the given geometry. *)

@@ -1,0 +1,115 @@
+let default_width = 60
+let default_height = 20
+
+let bounds values =
+  Array.fold_left
+    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+    (infinity, neg_infinity) values
+
+(* Widen degenerate ranges so everything maps inside the grid. *)
+let pad (lo, hi) =
+  if hi > lo then (lo, hi)
+  else if lo = 0.0 then (-1.0, 1.0)
+  else (lo -. (0.5 *. abs_float lo), hi +. (0.5 *. abs_float hi))
+
+let cell_of value (lo, hi) cells =
+  let frac = (value -. lo) /. (hi -. lo) in
+  let c = int_of_float (frac *. float_of_int cells) in
+  max 0 (min (cells - 1) c)
+
+let render ~width ~height ~x_range ~y_range ~x_label ~y_label ~marks =
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (x, y, glyph) ->
+      let col = cell_of x x_range width in
+      let row = height - 1 - cell_of y y_range height in
+      (* Do not overwrite data glyphs with decoration ('.') marks. *)
+      if glyph <> '.' || grid.(row).(col) = ' ' then grid.(row).(col) <- glyph)
+    marks;
+  let buffer = Buffer.create ((width + 12) * (height + 3)) in
+  let y_lo, y_hi = y_range in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then Printf.sprintf "%10.3f " y_hi
+        else if row = height - 1 then Printf.sprintf "%10.3f " y_lo
+        else String.make 11 ' '
+      in
+      Buffer.add_string buffer label;
+      Buffer.add_char buffer '|';
+      Buffer.add_string buffer (String.init width (fun c -> line.(c)));
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.add_string buffer (String.make 11 ' ');
+  Buffer.add_char buffer '+';
+  Buffer.add_string buffer (String.make width '-');
+  Buffer.add_char buffer '\n';
+  let x_lo, x_hi = x_range in
+  Buffer.add_string buffer
+    (Printf.sprintf "%11s %-10.3f%*s%10.3f\n" "" x_lo (width - 20) "" x_hi);
+  (match y_label with
+  | "" -> ()
+  | l -> Buffer.add_string buffer (Printf.sprintf "  y: %s" l));
+  (match x_label with
+  | "" -> ()
+  | l -> Buffer.add_string buffer (Printf.sprintf "   x: %s" l));
+  if x_label <> "" || y_label <> "" then Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let scatter ?(width = default_width) ?(height = default_height)
+    ?(diagonal = false) ?(x_label = "") ?(y_label = "") points =
+  if Array.length points = 0 then "(no points)\n"
+  else begin
+    let xs = Array.map fst points and ys = Array.map snd points in
+    let x_range = pad (bounds xs) and y_range = pad (bounds ys) in
+    (* A shared range makes the bisector meaningful. *)
+    let x_range, y_range =
+      if diagonal then
+        let lo = Float.min (fst x_range) (fst y_range) in
+        let hi = Float.max (snd x_range) (snd y_range) in
+        ((lo, hi), (lo, hi))
+      else (x_range, y_range)
+    in
+    let marks = ref [] in
+    if diagonal then begin
+      let lo, hi = x_range in
+      let steps = 4 * width in
+      for i = 0 to steps do
+        let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+        marks := (v, v, '.') :: !marks
+      done
+    end;
+    Array.iter (fun (x, y) -> marks := (x, y, '*') :: !marks) points;
+    render ~width ~height ~x_range ~y_range ~x_label ~y_label ~marks:!marks
+  end
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#' |]
+
+let series ?(width = default_width) ?(height = default_height)
+    ?(x_label = "") ?(y_label = "") named =
+  let named = List.filter (fun (_, v) -> Array.length v > 0) named in
+  if named = [] then "(no series)\n"
+  else begin
+    let all = Array.concat (List.map snd named) in
+    let y_range = pad (bounds all) in
+    let longest =
+      List.fold_left (fun acc (_, v) -> max acc (Array.length v)) 1 named
+    in
+    let x_range = pad (0.0, float_of_int (longest - 1)) in
+    let marks = ref [] in
+    List.iteri
+      (fun s (_, values) ->
+        let glyph = glyphs.(s mod Array.length glyphs) in
+        Array.iteri
+          (fun i v -> marks := (float_of_int i, v, glyph) :: !marks)
+          values)
+      named;
+    let legend =
+      named
+      |> List.mapi (fun s (name, _) ->
+             Printf.sprintf "%c %s" glyphs.(s mod Array.length glyphs) name)
+      |> String.concat "   "
+    in
+    render ~width ~height ~x_range ~y_range ~x_label ~y_label ~marks:!marks
+    ^ "  " ^ legend ^ "\n"
+  end

@@ -1,0 +1,28 @@
+(** Terminal plotting for the benchmark harness: the paper's scatter plots
+    (predicted vs measured, Figs. 4-5) and line series (Figs. 3 and 9)
+    rendered as text grids, so a bench run shows the figures' shapes
+    directly. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?diagonal:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) array ->
+  string
+(** [scatter points] renders an x-y scatter ([width] x [height] characters,
+    defaults 60 x 20).  [diagonal] (default false) marks the y = x bisector
+    — perfect predictions sit on it.  Returns a multi-line string; empty
+    input yields a note instead of a plot. *)
+
+val series :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * float array) list ->
+  string
+(** [series named_series] plots one glyph per series against the common
+    index axis (series may have different lengths).  The first series uses
+    '*', the second '+', then 'o', 'x', '#'. *)

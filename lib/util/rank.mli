@@ -1,0 +1,30 @@
+(** Rank statistics: Spearman rank correlation (with tie handling) and
+    ranking helpers.
+
+    Fig. 7 of the paper scores how well a small random workload sample
+    ranks six LLC configurations against the reference ranking, using the
+    Spearman rank correlation coefficient. *)
+
+val ranks : float array -> float array
+(** [ranks a] assigns rank 1 to the smallest element; tied values receive
+    the average of the ranks they span (mid-rank method). *)
+
+val spearman : float array -> float array -> float
+(** [spearman a b] is the Spearman rank correlation coefficient of the two
+    samples, computed as the Pearson correlation of their mid-ranks, which
+    handles ties correctly.  Arrays must have equal length >= 2.  Returns a
+    value in [\[-1, 1\]]; returns [nan] if either sample is constant. *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation coefficient. *)
+
+val rank_order : float array -> int array
+(** [rank_order a] is the permutation of indices that sorts [a] in
+    decreasing order, i.e. [rank_order a |> Array.get 0] is the index of
+    the best (largest) value.  Ties keep their original relative order. *)
+
+val argmax : float array -> int
+(** Index of the largest element (first on ties). *)
+
+val argmin : float array -> int
+(** Index of the smallest element (first on ties). *)

@@ -1,0 +1,28 @@
+module Suite = Mppm_trace.Suite
+
+type t = { indices : int array }
+
+let of_indices ~n indices =
+  if Array.length indices = 0 then invalid_arg "Mix.of_indices: empty mix";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Mix.of_indices: index out of range")
+    indices;
+  let indices = Array.copy indices in
+  Array.sort compare indices;
+  { indices }
+
+let of_names names =
+  of_indices ~n:Suite.count (Array.map Suite.index names)
+
+let size t = Array.length t.indices
+let indices t = Array.copy t.indices
+let names t = Array.map (fun i -> Suite.names.(i)) t.indices
+let benchmarks t = Array.map (fun i -> Suite.all.(i)) t.indices
+let equal a b = a.indices = b.indices
+let compare a b = compare a.indices b.indices
+let to_string t = String.concat "+" (Array.to_list (names t))
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let population ~cores =
+  Mppm_util.Combinatorics.multisets_count ~n:Suite.count ~m:cores

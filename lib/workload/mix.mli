@@ -1,0 +1,42 @@
+(** Multi-program workload mixes: multisets of benchmarks.
+
+    A mix is what one experiment schedules onto the cores of a multi-core
+    processor — e.g. [gamess, gamess, hmmer, soplex] on a quad-core.  Order
+    is irrelevant; repetition is allowed (two copies of gamess are two
+    independent instances of the same program). *)
+
+type t = private { indices : int array }
+(** Benchmark indices into {!Mppm_trace.Suite.all}, kept sorted. *)
+
+val of_indices : n:int -> int array -> t
+(** [of_indices ~n indices] validates each index against the population
+    size [n] and sorts.  Raises [Invalid_argument] on out-of-range or empty
+    input. *)
+
+val of_names : string array -> t
+(** [of_names names] builds a mix of suite benchmarks by name.  Raises
+    [Not_found] on an unknown name. *)
+
+val size : t -> int
+(** Number of programs (= cores used). *)
+
+val indices : t -> int array
+(** A fresh copy of the (sorted) benchmark indices. *)
+
+val names : t -> string array
+(** Suite benchmark names, aligned with {!indices}. *)
+
+val benchmarks : t -> Mppm_trace.Benchmark.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** "gamess+gamess+hmmer+soplex". *)
+
+val pp : Format.formatter -> t -> unit
+
+val population : cores:int -> float
+(** [population ~cores] is the number of distinct mixes of [cores] programs
+    over the 29-benchmark suite — the combinatorial explosion of the
+    paper's introduction (435 at 2 cores, 35,960 at 4, >30.2M at 8). *)

@@ -1,0 +1,48 @@
+module Rng = Mppm_util.Rng
+module Combinatorics = Mppm_util.Combinatorics
+module Suite = Mppm_trace.Suite
+
+let n = Suite.count
+
+let random_mixes rng ~cores ~count =
+  Array.init count (fun _ ->
+      Mix.of_indices ~n (Combinatorics.random_selection_with_repetition rng ~n ~m:cores))
+
+let distinct_random_mixes rng ~cores ~count =
+  let population = Combinatorics.multisets_count ~n ~m:cores in
+  if float_of_int count > population then
+    invalid_arg "Sampler.distinct_random_mixes: count exceeds population";
+  let seen = Hashtbl.create (2 * count) in
+  let result = ref [] in
+  while Hashtbl.length seen < count do
+    let mix =
+      Mix.of_indices ~n
+        (Combinatorics.random_selection_with_repetition rng ~n ~m:cores)
+    in
+    let key = Mix.to_string mix in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      result := mix :: !result
+    end
+  done;
+  Array.of_list (List.rev !result)
+
+let uniform_multiset_mixes rng ~cores ~count =
+  Array.init count (fun _ ->
+      Mix.of_indices ~n (Combinatorics.random_multiset rng ~n ~m:cores))
+
+let all_mixes ~cores =
+  Combinatorics.enumerate_multisets ~n ~m:cores
+  |> List.map (Mix.of_indices ~n)
+  |> Array.of_list
+
+let category_sets rng ~mem ~comp ~cores ~sets ~per_composition =
+  Array.init sets (fun _ ->
+      Category.compositions
+      |> List.concat_map (fun composition ->
+             List.init per_composition (fun _ ->
+                 Category.random_mix rng ~mem ~comp ~cores composition))
+      |> Array.of_list)
+
+let random_sets rng ~cores ~sets ~per_set =
+  Array.init sets (fun _ -> random_mixes rng ~cores ~count:per_set)

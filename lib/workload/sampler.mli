@@ -1,0 +1,45 @@
+(** Drawing workload-mix populations.
+
+    Two sampling regimes matter in the paper: {e current practice} draws a
+    small number of random mixes (each core slot filled independently at
+    random, possibly within categories), while {e MPPM-style evaluation}
+    draws a very large sample — or, for small populations, enumerates
+    everything. *)
+
+val random_mixes :
+  Mppm_util.Rng.t -> cores:int -> count:int -> Mix.t array
+(** [random_mixes rng ~cores ~count] draws [count] mixes over the suite,
+    each slot independently uniform over the 29 benchmarks (duplicates
+    across draws are possible, as in practice). *)
+
+val distinct_random_mixes :
+  Mppm_util.Rng.t -> cores:int -> count:int -> Mix.t array
+(** Like {!random_mixes} but rejects duplicate mixes, drawing until [count]
+    distinct ones exist.  Requires [count] not to exceed the population. *)
+
+val uniform_multiset_mixes :
+  Mppm_util.Rng.t -> cores:int -> count:int -> Mix.t array
+(** Draws uniformly over the {e multiset population} (each of the
+    C(29+m-1, m) mixes equally likely), the right notion when estimating
+    population statistics such as Fig. 3's confidence intervals. *)
+
+val all_mixes : cores:int -> Mix.t array
+(** Enumerates the entire population; intended for 2 cores (435 mixes) or
+    3 (4,495).  Raises [Invalid_argument] beyond 10M mixes. *)
+
+val category_sets :
+  Mppm_util.Rng.t ->
+  mem:int array ->
+  comp:int array ->
+  cores:int ->
+  sets:int ->
+  per_composition:int ->
+  Mix.t array array
+(** [category_sets rng ~mem ~comp ~cores ~sets ~per_composition] builds
+    [sets] workload sets, each containing [per_composition] mixes of every
+    composition (paper Fig. 7(b): 4 MEM / 4 COMP / 4 MIX). *)
+
+val random_sets :
+  Mppm_util.Rng.t -> cores:int -> sets:int -> per_set:int -> Mix.t array array
+(** [random_sets rng ~cores ~sets ~per_set] builds [sets] independent sets
+    of [per_set] random mixes (paper Fig. 7(a): 20 sets of 12). *)

@@ -1,0 +1,104 @@
+(* Calibration tool: prints each synthetic benchmark's isolated
+   characteristics on the baseline hierarchy, then sanity-checks MPPM
+   against detailed multi-core simulation on a few 4-program mixes.  Used
+   while tuning lib/trace/suite.ml; kept as a development aid. *)
+
+module Suite = Mppm_trace.Suite
+module Single_core = Mppm_simcore.Single_core
+module Multi_core = Mppm_multicore.Multi_core
+module Profile = Mppm_profile.Profile
+module Model = Mppm_core.Model
+module Metrics = Mppm_core.Metrics
+module Configs = Mppm_cache.Configs
+
+let trace = 2_000_000
+let interval = trace / 50
+
+let () =
+  let hierarchy = Configs.baseline () in
+  let cfg = Single_core.config hierarchy in
+  Printf.printf "%-12s %6s %6s %6s %7s %8s\n" "benchmark" "CPI" "mCPI" "mem%"
+    "MPKI" "LLCacc/ki";
+  let profiles =
+    Array.map
+      (fun bench ->
+        let name = bench.Mppm_trace.Benchmark.name in
+        let t0 = Unix.gettimeofday () in
+        let profile =
+          Single_core.profile cfg ~benchmark:bench ~seed:(Suite.seed_for name)
+            ~trace_instructions:trace ~interval_instructions:interval
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let llc_acc =
+          Array.fold_left
+            (fun a iv -> a +. iv.Profile.llc_accesses)
+            0.0 profile.Profile.intervals
+        in
+        Printf.printf "%-12s %6.3f %6.3f %5.1f%% %7.2f %8.2f  (%.2fs)\n" name
+          (Profile.cpi profile) (Profile.memory_cpi profile)
+          (100.0 *. Profile.memory_cpi_fraction profile)
+          (Profile.llc_mpki profile)
+          (llc_acc *. 1000.0 /. float_of_int trace)
+          dt;
+        profile)
+      Suite.all
+  in
+  (* A few 4-program mixes: the paper's worst mix and two contrasts. *)
+  let mixes =
+    [
+      [| "gamess"; "gamess"; "hmmer"; "soplex" |];
+      [| "gamess"; "lbm"; "mcf"; "libquantum" |];
+      [| "hmmer"; "povray"; "namd"; "gromacs" |];
+      [| "soplex"; "omnetpp"; "xalancbmk"; "gobmk" |];
+      [| "mcf"; "lbm"; "milc"; "GemsFDTD" |];
+    ]
+  in
+  let params = Model.default_params ~trace_instructions:trace in
+  List.iter
+    (fun names ->
+      let offsets = Multi_core.default_offsets (Array.length names) in
+      let specs =
+        Array.mapi
+          (fun i name ->
+            {
+              Multi_core.benchmark = Suite.find name;
+              seed = Suite.seed_for name;
+              offset = offsets.(i);
+            })
+          names
+      in
+      let t0 = Unix.gettimeofday () in
+      let detailed =
+        Multi_core.run (Multi_core.config hierarchy) ~programs:specs
+          ~trace_instructions:trace
+      in
+      let dt_sim = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let predicted =
+        Model.predict_profiles params
+          (Array.map (fun n -> profiles.(Suite.index n)) names)
+      in
+      let dt_model = Unix.gettimeofday () -. t0 in
+      let cpi_single =
+        Array.map (fun n -> Profile.cpi profiles.(Suite.index n)) names
+      in
+      let cpi_multi_meas =
+        Array.map (fun p -> p.Multi_core.multicore_cpi) detailed.Multi_core.programs
+      in
+      let stp_meas = Metrics.stp ~cpi_single ~cpi_multi:cpi_multi_meas in
+      let antt_meas = Metrics.antt ~cpi_single ~cpi_multi:cpi_multi_meas in
+      Printf.printf "\nmix [%s]  (sim %.1fs, model %.3fs)\n"
+        (String.concat ", " (Array.to_list names))
+        dt_sim dt_model;
+      Printf.printf "  STP  measured %.3f  predicted %.3f\n" stp_meas
+        predicted.Model.stp;
+      Printf.printf "  ANTT measured %.3f  predicted %.3f\n" antt_meas
+        predicted.Model.antt;
+      Array.iteri
+        (fun i name ->
+          let meas_slow = cpi_multi_meas.(i) /. cpi_single.(i) in
+          let pred = predicted.Model.programs.(i) in
+          Printf.printf "  %-12s slowdown measured %.3f predicted %.3f\n" name
+            meas_slow pred.Model.slowdown)
+        names)
+    mixes
