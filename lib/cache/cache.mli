@@ -6,6 +6,7 @@
     profile. *)
 
 type t
+(** A mutable cache instance. *)
 
 type outcome =
   | Hit of int
@@ -26,7 +27,10 @@ val create : ?policy:Replacement.t -> ?partition:int array -> Geometry.t -> t
     the LRU policy.  Accesses then go through {!access_as}. *)
 
 val geometry : t -> Geometry.t
+(** The geometry this cache was created with. *)
+
 val policy : t -> Replacement.t
+(** The replacement policy this cache was created with. *)
 
 val partition : t -> int array option
 (** The way quotas this cache was created with, if any. *)
@@ -50,8 +54,13 @@ val probe : t -> int -> bool
 (** [probe t addr] is [true] iff the line is present; no state change. *)
 
 val accesses : t -> int
+(** Total lookups since creation or the last {!reset_stats}. *)
+
 val hits : t -> int
+(** Hits among {!accesses}. *)
+
 val misses : t -> int
+(** Misses among {!accesses}. *)
 
 val miss_rate : t -> float
 (** Misses over accesses; 0 if no accesses. *)
@@ -66,3 +75,4 @@ val resident_lines : t -> int
 (** Number of currently valid lines (for occupancy assertions). *)
 
 val pp_stats : Format.formatter -> t -> unit
+(** One-line rendering of the statistics counters. *)

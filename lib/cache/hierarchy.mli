@@ -23,6 +23,7 @@ type hit_level = L1 | L2 | Llc | Memory
 (** Where an access was satisfied. *)
 
 type access_kind = Fetch | Load | Store
+(** Instruction fetch vs. data read vs. data write. *)
 
 type result = {
   latency : int;  (** cycles to satisfy the access *)
@@ -33,6 +34,7 @@ type result = {
 }
 
 type t
+(** One core's view of the hierarchy. *)
 
 val create :
   ?llc:Cache.t -> ?llc_owner:int -> ?perfect_llc:bool -> config -> t
@@ -44,7 +46,10 @@ val create :
     paper's "perfect LLC" run used to isolate the memory CPI component. *)
 
 val config : t -> config
+(** The parameters this hierarchy was built from. *)
+
 val llc : t -> Cache.t
+(** The (possibly shared) last-level cache instance. *)
 
 val access : t -> kind:access_kind -> addr:int -> result
 (** Simulates the access through L1 (instruction or data side per [kind]),
@@ -57,5 +62,7 @@ val llc_misses : t -> int
 (** LLC misses suffered by this core's hierarchy (0 under [perfect_llc]). *)
 
 val reset_stats : t -> unit
+(** Clears this core's LLC access/miss counters (cache contents kept). *)
 
 val pp_config : Format.formatter -> config -> unit
+(** Human-readable rendering of a hierarchy configuration. *)

@@ -11,8 +11,10 @@ type t =
   | Random of int  (** random victim, with the PRNG seed to use *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)
 
 val to_string : t -> string
+(** "lru", "fifo" or "random:<seed>". *)
 
 val of_string : string -> t
 (** Inverse of {!to_string} ("lru", "fifo", "random:<seed>").  Raises

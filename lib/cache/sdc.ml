@@ -1,4 +1,12 @@
+module Invariant = Mppm_util.Invariant
+
 type t = { assoc : int; counters : float array (* length assoc + 1 *) }
+
+(* Tolerant float comparison for the sanitizer's mass-conservation checks:
+   counter sums are regrouped, so exact equality is too strict. *)
+let mass_close a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
 let create ~assoc =
   if assoc <= 0 then invalid_arg "Sdc.create: assoc must be positive";
@@ -21,21 +29,37 @@ let hits t = accesses t -. misses t
 
 let miss_rate t =
   let total = accesses t in
-  if total = 0.0 then 0.0 else misses t /. total
+  if Float.equal total 0.0 then 0.0 else misses t /. total
 
 let copy t = { assoc = t.assoc; counters = Array.copy t.counters }
 
 let add a b =
   if a.assoc <> b.assoc then invalid_arg "Sdc.add: associativity mismatch";
-  { assoc = a.assoc; counters = Array.map2 ( +. ) a.counters b.counters }
+  let sum = { assoc = a.assoc; counters = Array.map2 ( +. ) a.counters b.counters } in
+  if Invariant.enabled () then
+    Invariant.checkf "sdc.add_mass"
+      (mass_close (accesses sum) (accesses a +. accesses b))
+      (fun () ->
+        Printf.sprintf "sum %g <> %g + %g" (accesses sum) (accesses a)
+          (accesses b));
+  sum
 
 let add_into ~dst src =
   if dst.assoc <> src.assoc then invalid_arg "Sdc.add_into: associativity mismatch";
-  Array.iteri (fun i v -> dst.counters.(i) <- dst.counters.(i) +. v) src.counters
+  let before =
+    if Invariant.enabled () then accesses dst +. accesses src else 0.0
+  in
+  Array.iteri (fun i v -> dst.counters.(i) <- dst.counters.(i) +. v) src.counters;
+  if Invariant.enabled () then
+    Invariant.check "sdc.add_mass" (mass_close (accesses dst) before)
 
 let scale t k =
   if k < 0.0 then invalid_arg "Sdc.scale: negative factor";
-  { assoc = t.assoc; counters = Array.map (fun v -> v *. k) t.counters }
+  let scaled = { assoc = t.assoc; counters = Array.map (fun v -> v *. k) t.counters } in
+  if Invariant.enabled () then
+    Invariant.check "sdc.scale_mass"
+      (mass_close (accesses scaled) (accesses t *. k));
+  scaled
 
 let reduce_associativity t ~assoc:new_assoc =
   if new_assoc <= 0 || new_assoc > t.assoc then
@@ -47,7 +71,14 @@ let reduce_associativity t ~assoc:new_assoc =
   for i = new_assoc to t.assoc do
     counters.(new_assoc) <- counters.(new_assoc) +. t.counters.(i)
   done;
-  { assoc = new_assoc; counters }
+  let reduced = { assoc = new_assoc; counters } in
+  if Invariant.enabled () then
+    Invariant.checkf "sdc.reduce_mass"
+      (mass_close (accesses reduced) (accesses t))
+      (fun () ->
+        Printf.sprintf "%d->%d-way reduction changed mass %g -> %g" t.assoc
+          new_assoc (accesses t) (accesses reduced));
+  reduced
 
 let misses_with_ways t ~ways =
   if ways < 0.0 then invalid_arg "Sdc.misses_with_ways: negative ways";

@@ -13,6 +13,7 @@ val create : assoc:int -> t
 (** [create ~assoc] is an all-zero SDC for an [assoc]-way cache. *)
 
 val assoc : t -> int
+(** The associativity [A] this SDC was created for. *)
 
 val record : t -> depth:int -> unit
 (** [record t ~depth] increments the counter for an access that hit at
@@ -36,6 +37,7 @@ val miss_rate : t -> float
 (** [misses / accesses]; 0 if there are no accesses. *)
 
 val copy : t -> t
+(** An independent SDC with the same counter values. *)
 
 val add : t -> t -> t
 (** [add a b] is the element-wise sum; both must have equal associativity.
@@ -70,3 +72,4 @@ val of_list : assoc:int -> float list -> t
 (** Inverse of {!to_list}; the list must have length [assoc + 1]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering of the counters. *)

@@ -6,12 +6,14 @@
     (scaled), producing the per-interval SDCs MPPM consumes. *)
 
 type t
+(** A profiler: a private cache image plus the interval in progress. *)
 
 val create : Geometry.t -> t
 (** [create geometry] profiles a cache of the given geometry (always LRU:
     stack distances are defined against the LRU stack). *)
 
 val geometry : t -> Geometry.t
+(** The geometry of the profiled cache. *)
 
 val access : t -> int -> Cache.outcome
 (** [access t addr] simulates the access, records its depth in the current

@@ -47,7 +47,10 @@ val predict : model -> Mppm_cache.Sdc.t array -> prediction
     program, or an epoch with no accesses, yields zero extra misses. *)
 
 val model_name : model -> string
+(** Short display name ("FOA", "SDC-competition", ...). *)
+
 val of_string : string -> model
 (** "foa" | "sdc" | "prob[:iterations]" | "part:<w1,w2,...>". *)
 
 val pp : Format.formatter -> model -> unit
+(** Prints {!model_name}. *)

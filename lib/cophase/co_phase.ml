@@ -57,7 +57,7 @@ let create cfg ~programs =
     programs;
     schedules =
       Array.map (fun spec -> schedule_of_benchmark spec.benchmark) programs;
-    matrix = Hashtbl.create 16;
+    matrix = Hashtbl.create ~random:false 16;
     detailed_instructions = 0;
   }
 

@@ -33,6 +33,8 @@ type program_spec = {
   seed : int;
   offset : int;
 }
+(** One co-scheduled program: its benchmark, workload seed and starting
+    instruction offset. *)
 
 type result = {
   cpi_multi : float array;
@@ -49,6 +51,8 @@ type t
 (** A co-phase matrix bound to one mix. *)
 
 val create : config -> programs:program_spec array -> t
+(** An empty matrix for the given mix; entries fill on demand during
+    {!predict}. *)
 
 val predict : t -> trace_instructions:int -> result
 (** [predict t ~trace_instructions] walks the phase schedules, measuring

@@ -1,3 +1,24 @@
+module Invariant = Mppm_util.Invariant
+
+(* Sanitizer: STP of n programs lies in (0, n] and ANTT is >= 1 whenever no
+   program runs faster shared than alone (slowdowns >= 1), which the MPPM
+   iteration guarantees. *)
+let sanity ~slowdowns ~stp ~antt =
+  if Invariant.enabled () then begin
+    let n = float_of_int (Array.length slowdowns) in
+    Invariant.check "metrics.finite"
+      (Float.is_finite stp && Float.is_finite antt);
+    Invariant.check "metrics.positive" (stp > 0.0 && antt > 0.0);
+    if Array.for_all (fun s -> s >= 1.0) slowdowns then begin
+      Invariant.checkf "metrics.stp_le_n"
+        (stp <= n +. (1e-9 *. n))
+        (fun () -> Printf.sprintf "STP = %g > n = %g" stp n);
+      Invariant.checkf "metrics.antt_ge_1"
+        (antt >= 1.0 -. 1e-12)
+        (fun () -> Printf.sprintf "ANTT = %g < 1" antt)
+    end
+  end
+
 let check ~cpi_single ~cpi_multi =
   let n = Array.length cpi_single in
   if n = 0 || n <> Array.length cpi_multi then
@@ -9,21 +30,33 @@ let check ~cpi_single ~cpi_multi =
     (fun x -> if x <= 0.0 then invalid_arg "Metrics: non-positive CPI")
     cpi_multi
 
+let slowdowns ~cpi_single ~cpi_multi =
+  check ~cpi_single ~cpi_multi;
+  Array.mapi (fun i sc -> cpi_multi.(i) /. sc) cpi_single
+
 let stp ~cpi_single ~cpi_multi =
   check ~cpi_single ~cpi_multi;
   let acc = ref 0.0 in
   Array.iteri (fun i sc -> acc := !acc +. (sc /. cpi_multi.(i))) cpi_single;
+  if Invariant.enabled () then begin
+    let s = slowdowns ~cpi_single ~cpi_multi in
+    let n = float_of_int (Array.length s) in
+    if Array.for_all (fun x -> x >= 1.0) s then
+      Invariant.check "metrics.stp_le_n" (!acc <= n +. (1e-9 *. n))
+  end;
   !acc
 
 let antt ~cpi_single ~cpi_multi =
   check ~cpi_single ~cpi_multi;
   let acc = ref 0.0 in
   Array.iteri (fun i sc -> acc := !acc +. (cpi_multi.(i) /. sc)) cpi_single;
-  !acc /. float_of_int (Array.length cpi_single)
-
-let slowdowns ~cpi_single ~cpi_multi =
-  check ~cpi_single ~cpi_multi;
-  Array.mapi (fun i sc -> cpi_multi.(i) /. sc) cpi_single
+  let antt = !acc /. float_of_int (Array.length cpi_single) in
+  if Invariant.enabled () then begin
+    let s = slowdowns ~cpi_single ~cpi_multi in
+    if Array.for_all (fun x -> x >= 1.0) s then
+      Invariant.check "metrics.antt_ge_1" (antt >= 1.0 -. 1e-12)
+  end;
+  antt
 
 let positive name a =
   if Array.length a = 0 then invalid_arg (name ^ ": empty array");
@@ -31,8 +64,14 @@ let positive name a =
 
 let stp_of_slowdowns s =
   positive "Metrics.stp_of_slowdowns" s;
-  Array.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 s
+  let stp = Array.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 s in
+  let antt = Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s) in
+  sanity ~slowdowns:s ~stp ~antt;
+  stp
 
 let antt_of_slowdowns s =
   positive "Metrics.antt_of_slowdowns" s;
-  Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s)
+  let antt = Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s) in
+  let stp = Array.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 s in
+  sanity ~slowdowns:s ~stp ~antt;
+  antt

@@ -1,5 +1,6 @@
 module Profile = Mppm_profile.Profile
 module Contention = Mppm_contention.Contention
+module Invariant = Mppm_util.Invariant
 
 type update_rule = Paper_literal | Consistent
 
@@ -188,10 +189,29 @@ let run params inputs ~record =
           | Paper_literal -> 1.0 +. (miss_cycles /. epoch_cycles)
           | Consistent -> 1.0 +. (miss_cycles *. st.r /. epoch_cycles)
         in
+        let previous = st.r in
         st.r <-
           (params.smoothing *. st.r) +. ((1.0 -. params.smoothing) *. current);
+        if Invariant.enabled () then begin
+          Invariant.checkf "model.slowdown_ge_1" (st.r >= 1.0) (fun () ->
+              Printf.sprintf "%s: R_p = %g < 1" st.input.label st.r);
+          Invariant.check "model.slowdown_finite" (Float.is_finite st.r);
+          (* The EMA is a convex combination of the previous estimate and
+             the current target, so it must stay between them. *)
+          let lo = Float.min previous current
+          and hi = Float.max previous current in
+          let eps = 1e-12 *. Float.max 1.0 hi in
+          Invariant.checkf "model.ema_bounded"
+            (st.r >= lo -. eps && st.r <= hi +. eps)
+            (fun () ->
+              Printf.sprintf "%s: R_p = %g outside [%g, %g]" st.input.label
+                st.r lo hi)
+        end;
         st.ip <- st.ip +. progress.(i))
       states;
+    if Invariant.enabled () then
+      Invariant.check "model.epoch_positive"
+        (Float.is_finite epoch_cycles && epoch_cycles > 0.0);
     if record then
       history :=
         {

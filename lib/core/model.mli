@@ -77,6 +77,8 @@ type result = {
   antt : float;
   iterations : int;
 }
+(** A full prediction: per-program outputs plus the mix's system
+    throughput, average normalized turnaround time and iteration count. *)
 
 val predict : params -> program_input array -> result
 (** [predict params programs] runs the iterative model.  All profiles must

@@ -27,6 +27,7 @@ type params = {
 }
 
 val default_params : params
+(** FOA contention, 100 iterations max, tolerance 1e-6, no damping. *)
 
 val predict : params -> Mppm_profile.Profile.t array -> Model.result
 (** [predict params profiles] returns the same result shape as

@@ -7,6 +7,7 @@ type mix_eval = {
   measured : Context.measured;
   predicted : Mppm_core.Model.result;
 }
+(** One mix's detailed-simulation measurement and MPPM prediction. *)
 
 type run = {
   cores : int;
@@ -28,6 +29,8 @@ val scatter_stp : run -> (float * float) array
 (** (predicted, measured) STP pairs — the dots of Fig. 4(a). *)
 
 val scatter_antt : run -> (float * float) array
+(** (predicted, measured) ANTT pairs — the dots of Fig. 4(b). *)
+
 val scatter_slowdown : run -> (float * float) array
 (** (predicted, measured) per-program slowdowns — the dots of Fig. 5. *)
 
@@ -44,7 +47,13 @@ type cpi_row = {
 }
 
 val cpi_rows : mix_eval -> cpi_row array
+(** The Fig. 6 table for one mix, in mix order. *)
 
 val pp_run_summary : Format.formatter -> run -> unit
+(** Average errors of a run, one line per metric. *)
+
 val pp_scatter : label:string -> Format.formatter -> (float * float) array -> unit
+(** ASCII scatter plot of (predicted, measured) pairs. *)
+
 val pp_cpi_rows : Format.formatter -> cpi_row array -> unit
+(** The Fig. 6 CPI-breakdown table. *)

@@ -9,6 +9,7 @@ module Model = Mppm_core.Model
 module Metrics = Mppm_core.Metrics
 module Mix = Mppm_workload.Mix
 module Category = Mppm_workload.Category
+module Fingerprint = Mppm_util.Fingerprint
 
 type t = {
   scale : Scale.t;
@@ -39,7 +40,7 @@ let create ?(core = Core_model.default)
     smoothing = model_smoothing;
     seed;
     cache_dir;
-    profiles = Hashtbl.create 64;
+    profiles = Hashtbl.create ~random:false 64;
     offsets = Multi_core.default_offsets ~seed max_cores;
   }
 
@@ -67,9 +68,21 @@ let hierarchy _t ~llc_config = Configs.baseline ~llc:llc_config ()
 let cache_path t ~llc_config bench_index =
   Option.map
     (fun dir ->
+      (* The digest covers everything the profile depends on, so a stale
+         cache entry can never be mistaken for the requested profile. *)
+      let benchmark = Suite.all.(bench_index) in
+      let digest =
+        Fingerprint.to_hex
+          (Fingerprint.of_value
+             ( benchmark,
+               t.core,
+               hierarchy t ~llc_config,
+               t.scale,
+               Suite.seed_for benchmark.Mppm_trace.Benchmark.name ))
+      in
       Filename.concat dir
-        (Printf.sprintf "%s-cfg%d-t%d.prof" Suite.names.(bench_index)
-           llc_config t.scale.Scale.trace_instructions))
+        (Printf.sprintf "%s-cfg%d-%s.prof" Suite.names.(bench_index)
+           llc_config digest))
     t.cache_dir
 
 let compute_profile t ~llc_config bench_index =

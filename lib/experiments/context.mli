@@ -4,6 +4,8 @@
     predicted metric pairs every figure is built from. *)
 
 type t
+(** An experiment context: scale, seed, model parameters and the profile
+    cache. *)
 
 val create :
   ?core:Mppm_simcore.Core_model.params ->
@@ -19,7 +21,10 @@ val create :
     Fig. 1).  [seed] (default 42) drives all sampling. *)
 
 val scale : t -> Scale.t
+(** The scale this context was created with. *)
+
 val seed : t -> int
+(** The master seed (default 42) all sampling derives from. *)
 
 val rng : t -> string -> Mppm_util.Rng.t
 (** [rng t purpose] is a fresh deterministic stream for the given purpose
@@ -28,6 +33,14 @@ val rng : t -> string -> Mppm_util.Rng.t
 val model_params : t -> Mppm_core.Model.params
 (** The MPPM parameters this context uses (paper-faithful ratios at the
     context's scale, with any constructor overrides applied). *)
+
+val cache_path : t -> llc_config:int -> int -> string option
+(** [cache_path t ~llc_config i] is the on-disk location of suite benchmark
+    [i]'s profile, or [None] without a cache directory.  The filename
+    carries an explicit {!Mppm_util.Fingerprint} digest of everything the
+    profile depends on (benchmark spec, core parameters, hierarchy, scale,
+    profiling seed), so changing any of them changes the path and a stale
+    cache entry is never mistaken for the requested profile. *)
 
 val profile : t -> llc_config:int -> int -> Mppm_profile.Profile.t
 (** [profile t ~llc_config i] is the single-core profile of suite benchmark
@@ -80,6 +93,8 @@ val predict_static :
     profiles. *)
 
 val hierarchy : t -> llc_config:int -> Mppm_cache.Hierarchy.config
+(** The Table 1 hierarchy with LLC configuration [llc_config], at the
+    context's scale. *)
 
 val categories : t -> llc_config:int -> Mppm_workload.Category.t array
 (** MEM/COMP classification of the suite from its profiles. *)

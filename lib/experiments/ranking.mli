@@ -31,7 +31,12 @@ val paper_options : options
     mixes. *)
 
 type set_eval = { stp_rho : float; antt_rho : float }
+(** Spearman rank correlations of one set's config ranking against the
+    reference ranking. *)
 
+(** Fig. 8 tallies for one config pair (#1 vs [other_config]): how often
+    current practice and MPPM agree/disagree on the winner, and who matches
+    the reference when they disagree (fractions of sets). *)
 type pair_outcome = {
   other_config : int;
   agree_both_right : float;
@@ -54,6 +59,11 @@ type t = {
 }
 
 val run : Context.t -> options -> t
+(** Runs the whole experiment: reference pool, current-practice sets and
+    the MPPM population, on LLC configs #1..#6. *)
 
 val pp_fig7 : Format.formatter -> t -> unit
+(** Rank-correlation bars: random sets, category sets, MPPM. *)
+
 val pp_fig8 : Format.formatter -> t -> unit
+(** Pairwise agree/disagree table, config #1 vs each other config. *)

@@ -29,3 +29,4 @@ val large : t
     numbers. *)
 
 val pp : Format.formatter -> t -> unit
+(** "trace 2.0M, interval 40.0K"-style rendering. *)

@@ -27,3 +27,4 @@ val measure :
     [model_mixes] (default 50) MPPM predictions. *)
 
 val pp : Format.formatter -> t -> unit
+(** The Sec. 4.3 timing table: costs, then speedups per core count. *)

@@ -35,7 +35,7 @@ let analyze ?worst_k (run : Accuracy.run) =
     List.length (List.filter (fun i -> List.mem i worst_predicted) worst_measured)
   in
   (* Per-benchmark maximum slowdown across the population. *)
-  let table : (string, float * float) Hashtbl.t = Hashtbl.create 32 in
+  let table : (string, float * float) Hashtbl.t = Hashtbl.create ~random:false 32 in
   Array.iter
     (fun e ->
       Array.iteri

@@ -25,4 +25,7 @@ val analyze : ?worst_k:int -> Accuracy.run -> t
     [worst_k] = population/6, matching the paper's 25-of-150). *)
 
 val pp_sorted : Format.formatter -> t -> unit
+(** The two Fig. 9 curves as an ASCII plot. *)
+
 val pp_summary : Format.formatter -> t -> unit
+(** Worst-[k] overlap plus the per-benchmark slowdown table. *)

@@ -13,6 +13,7 @@ type point = {
   stp : Mppm_util.Stats.interval;
   antt : Mppm_util.Stats.interval;
 }
+(** Mean STP/ANTT confidence intervals over the first [mixes] mixes. *)
 
 type t = {
   cores : int;

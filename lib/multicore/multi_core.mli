@@ -30,6 +30,8 @@ val config :
   ?bandwidth:float ->
   Mppm_cache.Hierarchy.config ->
   config
+(** Convenience constructor; defaults are the paper's machine (default
+    core, fully shared LRU LLC, unlimited bandwidth). *)
 
 type program_spec = {
   benchmark : Mppm_trace.Benchmark.t;

@@ -36,7 +36,10 @@ val make :
     associativity agreement) and builds the profile. *)
 
 val total_instructions : t -> int
+(** Sum of interval instruction counts (the trace length). *)
+
 val total_cycles : t -> float
+(** Sum of interval cycle counts (the isolated run's duration). *)
 
 val cpi : t -> float
 (** Whole-trace single-core CPI. *)
@@ -69,7 +72,10 @@ val window : t -> start:float -> count:float -> window
     [start] non-negative. *)
 
 val window_cpi : window -> float
+(** [w_cycles / w_instructions]. *)
+
 val window_memory_cpi : window -> float
+(** [w_memory_stall_cycles / w_instructions]. *)
 
 val reduce_associativity : t -> assoc:int -> t
 (** [reduce_associativity t ~assoc] derives the profile for an LLC of lower
@@ -86,3 +92,4 @@ val load : string -> t
     a line diagnostic on malformed input. *)
 
 val pp_summary : Format.formatter -> t -> unit
+(** One-line whole-trace summary: CPI, memory CPI, MPKI, intervals. *)

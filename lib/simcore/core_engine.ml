@@ -3,6 +3,7 @@ module Sdc_profiler = Mppm_cache.Sdc_profiler
 module Generator = Mppm_trace.Generator
 module Op = Mppm_trace.Op
 module Benchmark = Mppm_trace.Benchmark
+module Invariant = Mppm_util.Invariant
 
 type t = {
   params : Core_model.params;
@@ -83,6 +84,7 @@ let issue_fetches t count =
   done
 
 let step t ~cap =
+  let cycles_before = t.cycles in
   let phase = Generator.current_phase t.generator in
   let op = Generator.next t.generator ~cap in
   t.cycles <-
@@ -117,6 +119,14 @@ let step t ~cap =
         t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
       end
       else t.cycles <- t.cycles +. (t.compute_scale *. stall));
+  if Invariant.enabled () then begin
+    Invariant.checkf "simcore.cycles_monotone" (t.cycles >= cycles_before)
+      (fun () ->
+        Printf.sprintf "cycle count fell from %g to %g" cycles_before t.cycles);
+    Invariant.check "simcore.cycles_finite" (Float.is_finite t.cycles);
+    Invariant.check "simcore.memory_stall_nonneg"
+      (t.memory_stall_cycles >= 0.0 && t.memory_stall_cycles <= t.cycles)
+  end;
   op.Op.instructions
 
 let retired t = Generator.retired t.generator

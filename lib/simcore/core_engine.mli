@@ -12,6 +12,7 @@
     hit would have cost. *)
 
 type t
+(** A core bound to its generator and hierarchy, with running counters. *)
 
 val create :
   ?sdc_profiler:Mppm_cache.Sdc_profiler.t ->
@@ -52,7 +53,10 @@ val memory_stall_cycles : t -> float
 (** Cycles attributed to LLC misses by the counter architecture. *)
 
 val llc_accesses : t -> int
+(** LLC lookups issued by this core. *)
+
 val llc_misses : t -> int
+(** LLC misses suffered by this core. *)
 
 (** Snapshot of the running counters, used to compute per-interval or
     per-pass deltas. *)
@@ -65,6 +69,7 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+(** The counters as of now. *)
 
 val since : t -> snapshot -> snapshot
 (** [since t s] is the counter delta between now and snapshot [s]. *)

@@ -49,3 +49,4 @@ val fetch_llc_miss_extra_stall :
 (** Same quantity for a fetch that missed the LLC. *)
 
 val pp : Format.formatter -> params -> unit
+(** Human-readable rendering of the core parameters. *)

@@ -10,6 +10,7 @@
     isolated profiles carry their own self-queueing). *)
 
 type t
+(** A channel: its occupancy parameter plus busy-horizon state. *)
 
 val create : transfer_cycles:float -> t
 (** [create ~transfer_cycles] is an idle channel; [transfer_cycles] is the
@@ -17,6 +18,7 @@ val create : transfer_cycles:float -> t
     Must be positive. *)
 
 val transfer_cycles : t -> float
+(** The occupancy per line transfer this channel was created with. *)
 
 val request : t -> now:float -> float
 (** [request t ~now] enqueues a line transfer issued at time [now] (cycles)
@@ -36,3 +38,4 @@ val utilization : t -> now:float -> float
 (** Fraction of time the channel has been busy up to [now]. *)
 
 val reset : t -> unit
+(** Returns the channel to its idle just-created state. *)

@@ -27,6 +27,7 @@ val config :
 (** Convenience constructor; [core] defaults to {!Core_model.default},
     [perfect_llc] to [false], [bandwidth] to unlimited. *)
 
+(** Aggregate counters of one isolated run. *)
 type totals = {
   instructions : int;
   cycles : float;

@@ -23,6 +23,7 @@ val cluster :
     ragged dimensions. *)
 
 val squared_distance : float array -> float array -> float
+(** Squared Euclidean distance between two equal-dimension points. *)
 
 val closest : float array array -> float array -> int
 (** Index of the nearest centroid. *)

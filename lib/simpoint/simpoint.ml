@@ -91,7 +91,7 @@ let quantize ?(k = 8) ?seed profile =
     ~llc_assoc:profile.Profile.llc_assoc intervals
 
 let distinct_intervals profile =
-  let table = Hashtbl.create 16 in
+  let table = Hashtbl.create ~random:false 16 in
   Array.iter
     (fun iv ->
       let key =

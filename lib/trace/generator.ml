@@ -53,7 +53,7 @@ let create ?(offset = 0) ~seed bench =
   (* Lay out the address space: code first, then each distinct region (by
      name) page-aligned, in first-appearance order. *)
   let next_free = ref (round_to_page bench.Benchmark.code_bytes) in
-  let shared_states : (string, region_state) Hashtbl.t = Hashtbl.create 16 in
+  let shared_states : (string, region_state) Hashtbl.t = Hashtbl.create ~random:false 16 in
   let state_for (region : Benchmark.region) =
     match Hashtbl.find_opt shared_states region.Benchmark.region_name with
     | Some st -> st

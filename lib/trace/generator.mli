@@ -12,6 +12,7 @@
     instructions). *)
 
 type t
+(** A generator: the benchmark spec plus its RNG streams and cursors. *)
 
 val instructions_per_fetch : int
 (** Retired instructions covered by one fetched line (64B line / ~4B per
@@ -25,6 +26,7 @@ val create : ?offset:int -> seed:int -> Benchmark.t -> t
     lines yet still conflict in the shared cache's sets. *)
 
 val benchmark : t -> Benchmark.t
+(** The spec this generator was created from. *)
 
 val retired : t -> int
 (** Instructions retired through {!next} so far. *)

@@ -7,6 +7,7 @@
     memory reference stream. *)
 
 type access_kind = Load | Store
+(** Data read vs. data write. *)
 
 type access = { addr : int; kind : access_kind }
 (** One data reference: byte address plus load/store. *)
@@ -28,3 +29,4 @@ val memory : gap:int -> addr:int -> kind:access_kind -> t
     memory instruction. *)
 
 val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering of the block. *)

@@ -9,7 +9,7 @@ let bounds values =
 (* Widen degenerate ranges so everything maps inside the grid. *)
 let pad (lo, hi) =
   if hi > lo then (lo, hi)
-  else if lo = 0.0 then (-1.0, 1.0)
+  else if Float.equal lo 0.0 then (-1.0, 1.0)
   else (lo -. (0.5 *. abs_float lo), hi +. (0.5 *. abs_float hi))
 
 let cell_of value (lo, hi) cells =

@@ -15,6 +15,7 @@ val binomial_int : int -> int -> int
     result does not fit. *)
 
 exception Overflow
+(** Raised by {!binomial_int} when the result exceeds native int range. *)
 
 val multisets_count : n:int -> m:int -> float
 (** [multisets_count ~n ~m] is the number of size-[m] multisets over [n]

@@ -1,0 +1,74 @@
+type point = {
+  mutable passes : int;
+  mutable fails : int;
+  mutable first_detail : string option;
+}
+
+let points : (string, point) Hashtbl.t = Hashtbl.create ~random:false 16
+let state = ref None
+
+let enabled () =
+  match !state with
+  | Some b -> b
+  | None ->
+      let b =
+        match Sys.getenv_opt "MPPM_SANITIZE" with
+        | Some ("1" | "true" | "yes" | "on") -> true
+        | Some _ | None -> false
+      in
+      state := Some b;
+      b
+
+let set_enabled b = state := Some b
+
+let point name =
+  match Hashtbl.find_opt points name with
+  | Some p -> p
+  | None ->
+      let p = { passes = 0; fails = 0; first_detail = None } in
+      Hashtbl.add points name p;
+      p
+
+let checkf name ok detail =
+  if enabled () then begin
+    let p = point name in
+    if ok then p.passes <- p.passes + 1
+    else begin
+      p.fails <- p.fails + 1;
+      if p.first_detail = None then p.first_detail <- Some (detail ())
+    end
+  end
+
+let check name ok = checkf name ok (fun () -> "")
+
+let fold f init = Hashtbl.fold (fun name p acc -> f acc name p) points init
+let checks_run () = fold (fun acc _ p -> acc + p.passes + p.fails) 0
+let violations () = fold (fun acc _ p -> acc + p.fails) 0
+
+let report () =
+  let violated =
+    fold (fun acc name p -> if p.fails > 0 then (name, p) :: acc else acc) []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let summary =
+    Printf.sprintf "[mppm-sanitize] %d checks, %d violations" (checks_run ())
+      (violations ())
+  in
+  match violated with
+  | [] -> summary
+  | vs ->
+      summary ^ ": "
+      ^ String.concat ", "
+          (List.map
+             (fun (name, p) ->
+               match p.first_detail with
+               | Some d when d <> "" ->
+                   Printf.sprintf "%s=%d (%s)" name p.fails d
+               | _ -> Printf.sprintf "%s=%d" name p.fails)
+             vs)
+
+let reset () = Hashtbl.reset points
+
+let () =
+  at_exit (fun () ->
+      if enabled () && checks_run () > 0 then prerr_endline (report ()))

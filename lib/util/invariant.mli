@@ -1,0 +1,44 @@
+(** Runtime invariant sanitizer for the model core.
+
+    Cheap, env-gated assertion points: when [MPPM_SANITIZE=1] (or [true],
+    [yes], [on]) is set, checkpoints sprinkled through the simulators and
+    the analytical model count invariant violations instead of aborting
+    mid-run, and a one-line report is printed to stderr at process exit.
+    When the variable is unset every checkpoint is a single branch, so the
+    hot paths stay fast.
+
+    Checkpoints never change model results: they only read state, so a run
+    under the sanitizer is bit-for-bit identical to one without (enforced
+    by [test/suite_lint.ml]). *)
+
+val enabled : unit -> bool
+(** Whether sanitizing is on.  Consults [MPPM_SANITIZE] on first call and
+    caches the answer; {!set_enabled} overrides it. *)
+
+val set_enabled : bool -> unit
+(** Force sanitizing on or off (used by tests; normal runs use the
+    environment variable). *)
+
+val check : string -> bool -> unit
+(** [check name ok] records a pass or a violation of the named invariant.
+    No-op when disabled.  [name] should be stable and dotted, e.g.
+    ["simcore.cycles_monotone"]. *)
+
+val checkf : string -> bool -> (unit -> string) -> unit
+(** [checkf name ok detail] is {!check} but additionally records
+    [detail ()] for the first violation of [name], for the exit report.
+    [detail] is only forced on a violation. *)
+
+val checks_run : unit -> int
+(** Total checkpoint evaluations recorded so far. *)
+
+val violations : unit -> int
+(** Total violations recorded so far. *)
+
+val report : unit -> string
+(** The one-line summary, e.g.
+    ["[mppm-sanitize] 123456 checks, 0 violations"]; violated invariants
+    are listed as [name=count] pairs with the first recorded detail. *)
+
+val reset : unit -> unit
+(** Clear all counters (used by tests). *)

@@ -31,7 +31,8 @@ let pearson a b =
     var_a := !var_a +. (da *. da);
     var_b := !var_b +. (db *. db)
   done;
-  if !var_a = 0.0 || !var_b = 0.0 then nan
+  (* The variances are sums of squares, so <= 0 is exactly the zero case. *)
+  if !var_a <= 0.0 || !var_b <= 0.0 then nan
   else !cov /. sqrt (!var_a *. !var_b)
 
 let spearman a b = pearson (ranks a) (ranks b)

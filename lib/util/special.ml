@@ -61,8 +61,9 @@ let beta_continued_fraction ~a ~b ~x =
 let incomplete_beta ~a ~b ~x =
   if x < 0.0 || x > 1.0 then invalid_arg "Special.incomplete_beta: x not in [0,1]";
   if a <= 0.0 || b <= 0.0 then invalid_arg "Special.incomplete_beta: a,b must be > 0";
-  if x = 0.0 then 0.0
-  else if x = 1.0 then 1.0
+  (* The domain check above makes <= / >= exactly the boundary cases. *)
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
   else
     let log_front =
       log_gamma (a +. b) -. log_gamma a -. log_gamma b
@@ -85,7 +86,7 @@ let student_t_cdf ~df t =
 let student_t_quantile ~df p =
   if not (p > 0.0 && p < 1.0) then
     invalid_arg "Special.student_t_quantile: p not in (0,1)";
-  if p = 0.5 then 0.0
+  if Float.equal p 0.5 then 0.0
   else
     (* Bisection on the CDF: robust, and quantiles are computed rarely. *)
     let rec widen hi =

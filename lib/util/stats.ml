@@ -1,6 +1,12 @@
 let ensure_nonempty name a =
   if Array.length a = 0 then invalid_arg (name ^ ": empty sample")
 
+let approx_equal ?(eps = 1e-9) a b =
+  Float.abs (a -. b)
+  <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let is_zero ?(eps = 1e-9) x = Float.abs x <= eps
+
 let mean a =
   ensure_nonempty "Stats.mean" a;
   Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
@@ -79,7 +85,8 @@ let confidence_interval ?(level = 0.95) a =
   { mean = m; lower = m -. half_width; upper = m +. half_width; half_width; samples = n }
 
 let relative_half_width iv =
-  if iv.mean = 0.0 then invalid_arg "Stats.relative_half_width: zero mean"
+  if Float.equal iv.mean 0.0 then
+    invalid_arg "Stats.relative_half_width: zero mean"
   else iv.half_width /. abs_float iv.mean
 
 let check_paired name predicted measured =
@@ -92,7 +99,7 @@ let mean_relative_error ~predicted ~measured =
   let n = Array.length predicted in
   let total = ref 0.0 in
   for i = 0 to n - 1 do
-    if measured.(i) = 0.0 then
+    if Float.equal measured.(i) 0.0 then
       invalid_arg "Stats.mean_relative_error: zero measured value";
     total := !total +. (abs_float (predicted.(i) -. measured.(i)) /. abs_float measured.(i))
   done;
@@ -103,7 +110,7 @@ let max_relative_error ~predicted ~measured =
   let worst = ref 0.0 in
   Array.iteri
     (fun i p ->
-      if measured.(i) = 0.0 then
+      if Float.equal measured.(i) 0.0 then
         invalid_arg "Stats.max_relative_error: zero measured value";
       let e = abs_float (p -. measured.(i)) /. abs_float measured.(i) in
       if e > !worst then worst := e)

@@ -7,6 +7,7 @@
     category structure (4 MEM / 4 COMP / 4 MIX mixes per set). *)
 
 type t = Mem | Comp
+(** Memory-intensive vs. compute-intensive. *)
 
 val classify : memory_fraction:float -> threshold:float -> t
 (** [classify ~memory_fraction ~threshold] is [Mem] iff the benchmark's
@@ -28,6 +29,7 @@ val compositions : composition list
 (** [All_mem; All_comp; Half_half]. *)
 
 val composition_name : composition -> string
+(** "MEM", "COMP" or "MIX". *)
 
 val random_mix :
   Mppm_util.Rng.t ->
@@ -42,3 +44,4 @@ val random_mix :
     [Invalid_argument] if a needed class is empty. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints "MEM" or "COMP". *)

@@ -27,14 +27,19 @@ val names : t -> string array
 (** Suite benchmark names, aligned with {!indices}. *)
 
 val benchmarks : t -> Mppm_trace.Benchmark.t array
+(** The benchmark specs, aligned with {!indices}. *)
 
 val equal : t -> t -> bool
+(** Same multiset of benchmarks. *)
+
 val compare : t -> t -> int
+(** Lexicographic order on the sorted index arrays. *)
 
 val to_string : t -> string
 (** "gamess+gamess+hmmer+soplex". *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)
 
 val population : cores:int -> float
 (** [population ~cores] is the number of distinct mixes of [cores] programs

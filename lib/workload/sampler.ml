@@ -12,7 +12,7 @@ let distinct_random_mixes rng ~cores ~count =
   let population = Combinatorics.multisets_count ~n ~m:cores in
   if float_of_int count > population then
     invalid_arg "Sampler.distinct_random_mixes: count exceeds population";
-  let seen = Hashtbl.create (2 * count) in
+  let seen = Hashtbl.create ~random:false (2 * count) in
   let result = ref [] in
   while Hashtbl.length seen < count do
     let mix =

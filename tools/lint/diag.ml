@@ -1,0 +1,51 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_text d =
+  Printf.sprintf "%s:%d: [%s] %s: %s" d.file d.line d.rule
+    (severity_to_string d.severity)
+    d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape d.file) d.line (json_escape d.rule)
+    (severity_to_string d.severity)
+    (json_escape d.message)
+
+let list_to_json ds =
+  match ds with
+  | [] -> "[]"
+  | ds -> "[\n  " ^ String.concat ",\n  " (List.map to_json ds) ^ "\n]"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+  | c -> c

@@ -1,0 +1,29 @@
+(** Structured lint diagnostics and their textual / JSON rendering. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (** path relative to the lint root, '/'-separated *)
+  line : int;  (** 1-based line of the finding *)
+  rule : string;  (** rule identifier, e.g. ["D1"] *)
+  severity : severity;
+  message : string;  (** human-readable explanation *)
+}
+
+val severity_to_string : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val to_text : t -> string
+(** One [file:line: [rule] severity: message] line, the [--format text]
+    rendering. *)
+
+val to_json : t -> string
+(** One JSON object with [file], [line], [rule], [severity] and [message]
+    fields; strings are escaped per RFC 8259. *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects, one per line, suitable for CI
+    annotation consumers. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule — the stable report order. *)

@@ -1,0 +1,74 @@
+let suppress allows diags =
+  List.filter
+    (fun d ->
+      not
+        (List.exists
+           (fun (rule, line) ->
+             rule = d.Diag.rule && (line = d.Diag.line || line = d.Diag.line - 1))
+           allows))
+    diags
+
+let lint_source ~rel content =
+  let ctx = Rules.context_of_rel rel in
+  let lx = Lexer.lex content in
+  suppress lx.Lexer.allows (Rules.check_tokens ctx lx)
+
+let lint_dune ~rel content = Rules.check_dune ~rel content
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ~root ~rel =
+  let content = read_file (Filename.concat root rel) in
+  if Filename.basename rel = "dune" then lint_dune ~rel content
+  else lint_source ~rel content
+
+let scanned_dirs = [ "lib"; "bin"; "bench"; "tools" ]
+
+let skip_dir name =
+  name = "_build" || name = "_profile_cache"
+  || (String.length name > 0 && name.[0] = '.')
+
+(* Root-relative paths of the lintable files under [dir], sorted for
+   deterministic reports. *)
+let rec collect root rel_dir =
+  let abs = if rel_dir = "" then root else Filename.concat root rel_dir in
+  if not (Sys.file_exists abs && Sys.is_directory abs) then []
+  else
+    Sys.readdir abs |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           let rel = if rel_dir = "" then name else rel_dir ^ "/" ^ name in
+           let path = Filename.concat root rel in
+           if Sys.is_directory path then
+             if skip_dir name then [] else collect root rel
+           else if
+             Filename.check_suffix name ".ml"
+             || Filename.check_suffix name ".mli"
+             || name = "dune"
+           then [ rel ]
+           else [])
+
+let errors diags =
+  List.filter (fun d -> d.Diag.severity = Diag.Error) diags
+
+let lint_tree ~root =
+  let files = List.concat_map (fun d -> collect root d) scanned_dirs in
+  let file_set = List.fold_left (fun s f -> f :: s) [] files in
+  let missing =
+    (* Every lib/ implementation must have an interface. *)
+    List.filter_map
+      (fun rel ->
+        if
+          String.length rel >= 4
+          && String.sub rel 0 4 = "lib/"
+          && Filename.check_suffix rel ".ml"
+          && not (List.mem (rel ^ "i") file_set)
+        then Some (Rules.missing_mli ~rel_ml:rel)
+        else None)
+      files
+  in
+  let found = List.concat_map (fun rel -> lint_file ~root ~rel) files in
+  List.sort Diag.compare (missing @ found)

@@ -1,0 +1,28 @@
+(** Applies the rules to sources, files and whole trees, and filters
+    findings through [(* lint: allow <rule> *)] suppression comments. *)
+
+val lint_source : rel:string -> string -> Diag.t list
+(** [lint_source ~rel content] lints one [.ml]/[.mli] source given as a
+    string.  [rel] is the root-relative path the rules use to decide
+    applicability (lib-ness, module name).  Suppressions are applied: a
+    finding is dropped when an allow comment for its rule sits on the same
+    line or the line above. *)
+
+val lint_dune : rel:string -> string -> Diag.t list
+(** [lint_dune ~rel content] lints one dune file given as a string. *)
+
+val lint_file : root:string -> rel:string -> Diag.t list
+(** Read and lint one file ([.ml], [.mli] or [dune]) under [root]. *)
+
+val scanned_dirs : string list
+(** The top-level directories a tree lint walks: [lib], [bin], [bench],
+    [tools]. *)
+
+val lint_tree : root:string -> Diag.t list
+(** Walk {!scanned_dirs} under [root] (skipping [_build], [_profile_cache]
+    and dot-directories), lint every [.ml]/[.mli]/[dune] file, check that
+    every [lib/] module with an implementation has an interface, and return
+    all findings sorted by file and line. *)
+
+val errors : Diag.t list -> Diag.t list
+(** The error-severity subset of a report. *)

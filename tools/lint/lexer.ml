@@ -1,0 +1,309 @@
+type token =
+  | Ident of string
+  | Uident of string
+  | Number of { text : string; is_float : bool }
+  | Str of string
+  | Chr
+  | Op of string
+
+type loc_token = { tok : token; line : int }
+type doc = { doc_start : int; doc_end : int }
+
+type lexed = {
+  tokens : loc_token array;
+  docs : doc list;
+  allows : (string * int) list;
+}
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_op_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '='
+  | '>' | '?' | '@' | '^' | '|' | '~' | '#' ->
+      true
+  | _ -> false
+
+(* Parse the body of a suppression comment: "lint: allow D1 F1" (rules may
+   also be comma-separated).  Returns the listed rule ids. *)
+let parse_allow body =
+  let body = String.trim body in
+  let prefix = "lint:" in
+  if String.length body < String.length prefix
+     || not (String.sub body 0 (String.length prefix) = prefix)
+  then []
+  else
+    let rest = String.sub body 5 (String.length body - 5) in
+    match
+      String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) rest)
+      |> List.filter (fun s -> s <> "")
+    with
+    | "allow" :: rules -> rules
+    | _ -> []
+
+let lex source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let docs = ref [] in
+  let allows = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  let emit tok = tokens := { tok; line = !line } :: !tokens in
+  let advance () =
+    if !i < n then begin
+      if source.[!i] = '\n' then incr line;
+      incr i
+    end
+  in
+  (* Skip a string literal body (opening quote already consumed); returns the
+     raw content.  Handles backslash escapes, including escaped newlines. *)
+  let scan_string () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek 0 with
+      | None -> Buffer.contents buf
+      | Some '"' ->
+          advance ();
+          Buffer.contents buf
+      | Some '\\' ->
+          Buffer.add_char buf '\\';
+          advance ();
+          (match peek 0 with
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> ());
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  (* Quoted-string literal {id|...|id}; [!i] is at the char after '{'. *)
+  let scan_quoted_string id =
+    let close = "|" ^ id ^ "}" in
+    let len = String.length close in
+    let rec go () =
+      if !i >= n then ()
+      else if !i + len <= n && String.sub source !i len = close then
+        for _ = 1 to len do
+          advance ()
+        done
+      else begin
+        advance ();
+        go ()
+      end
+    in
+    go ();
+    emit (Str "")
+  in
+  (* Comment body: [!i] is just after the opening "(*".  Tracks nesting and
+     skips string literals inside (as the real OCaml lexer does). *)
+  let scan_comment start_line is_doc =
+    let buf = Buffer.create 32 in
+    let depth = ref 1 in
+    let rec go () =
+      match peek 0 with
+      | None -> ()
+      | Some '(' when peek 1 = Some '*' ->
+          incr depth;
+          Buffer.add_string buf "(*";
+          advance ();
+          advance ();
+          go ()
+      | Some '*' when peek 1 = Some ')' ->
+          decr depth;
+          advance ();
+          advance ();
+          if !depth > 0 then begin
+            Buffer.add_string buf "*)";
+            go ()
+          end
+      | Some '"' ->
+          advance ();
+          ignore (scan_string ());
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    let body = Buffer.contents buf in
+    if is_doc then docs := { doc_start = start_line; doc_end = !line } :: !docs
+    else
+      List.iter
+        (fun rule -> allows := (rule, start_line) :: !allows)
+        (parse_allow body)
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' || c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '(' && peek 1 = Some '*' then begin
+      let start_line = !line in
+      advance ();
+      advance ();
+      (* "(**" and not "(**)" is a doc comment. *)
+      let is_doc = peek 0 = Some '*' && peek 1 <> Some ')' in
+      scan_comment start_line is_doc
+    end
+    else if c = '"' then begin
+      advance ();
+      let s = scan_string () in
+      emit (Str s)
+    end
+    else if c = '{' then begin
+      (* {|...|} or {id|...|id} quoted string, else plain brace. *)
+      let j = ref (!i + 1) in
+      while !j < n && is_lower source.[!j] do
+        incr j
+      done;
+      if !j < n && source.[!j] = '|' then begin
+        let id = String.sub source (!i + 1) (!j - !i - 1) in
+        while !i <= !j do
+          advance ()
+        done;
+        scan_quoted_string id
+      end
+      else begin
+        emit (Op "{");
+        advance ()
+      end
+    end
+    else if c = '\'' then begin
+      (* Char literal or type-variable quote. *)
+      match (peek 1, peek 2) with
+      | Some '\\', _ ->
+          advance ();
+          advance ();
+          let budget = ref 6 in
+          let rec go () =
+            match peek 0 with
+            | Some '\'' -> advance ()
+            | Some _ when !budget > 0 ->
+                decr budget;
+                advance ();
+                go ()
+            | _ -> ()
+          in
+          go ();
+          emit Chr
+      | Some ch, Some '\'' when ch <> '\'' ->
+          advance ();
+          advance ();
+          advance ();
+          emit Chr
+      | _ ->
+          emit (Op "'");
+          advance ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let is_float = ref false in
+      let hex = c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') in
+      if hex then begin
+        advance ();
+        advance ();
+        while
+          match peek 0 with Some c -> is_hex c || c = '_' | None -> false
+        do
+          advance ()
+        done;
+        if peek 0 = Some '.' then begin
+          is_float := true;
+          advance ();
+          while
+            match peek 0 with Some c -> is_hex c || c = '_' | None -> false
+          do
+            advance ()
+          done
+        end;
+        (match peek 0 with
+        | Some ('p' | 'P') ->
+            is_float := true;
+            advance ();
+            (match peek 0 with
+            | Some ('+' | '-') -> advance ()
+            | _ -> ());
+            while
+              match peek 0 with Some c -> is_digit c | None -> false
+            do
+              advance ()
+            done
+        | _ -> ())
+      end
+      else begin
+        while
+          match peek 0 with
+          | Some c -> is_digit c || c = '_' || c = 'o' || c = 'b' || c = 'O' || c = 'B'
+          | None -> false
+        do
+          advance ()
+        done;
+        if peek 0 = Some '.' && peek 1 <> Some '.' then begin
+          is_float := true;
+          advance ();
+          while
+            match peek 0 with Some c -> is_digit c || c = '_' | None -> false
+          do
+            advance ()
+          done
+        end;
+        (match peek 0 with
+        | Some ('e' | 'E') -> (
+            match (peek 1, peek 2) with
+            | Some ('+' | '-'), Some d when is_digit d ->
+                is_float := true;
+                advance ();
+                advance ();
+                while
+                  match peek 0 with Some c -> is_digit c | None -> false
+                do
+                  advance ()
+                done
+            | Some d, _ when is_digit d ->
+                is_float := true;
+                advance ();
+                while
+                  match peek 0 with Some c -> is_digit c | None -> false
+                do
+                  advance ()
+                done
+            | _ -> ())
+        | _ -> ())
+      end;
+      let text = String.sub source start (!i - start) in
+      emit (Number { text; is_float = !is_float })
+    end
+    else if is_lower c || is_upper c then begin
+      let start = !i in
+      while match peek 0 with Some c -> is_ident_char c | None -> false do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      if is_upper text.[0] then emit (Uident text) else emit (Ident text)
+    end
+    else if is_op_char c then begin
+      let start = !i in
+      while match peek 0 with Some c -> is_op_char c | None -> false do
+        advance ()
+      done;
+      emit (Op (String.sub source start (!i - start)))
+    end
+    else begin
+      emit (Op (String.make 1 c));
+      advance ()
+    end
+  done;
+  {
+    tokens = Array.of_list (List.rev !tokens);
+    docs = List.rev !docs;
+    allows = List.rev !allows;
+  }

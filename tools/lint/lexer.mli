@@ -1,0 +1,31 @@
+(** A lightweight, total OCaml tokenizer for lint rules.
+
+    This is not a full OCaml lexer: it only needs to be sound about the
+    things rules care about — identifiers, qualified-name dots, operators,
+    numeric literals (and whether they are floats), string literals, and
+    comments (nested, string-aware).  It never raises on malformed input;
+    unterminated constructs simply run to end of file. *)
+
+type token =
+  | Ident of string  (** lowercase identifier or keyword *)
+  | Uident of string  (** capitalized identifier (module/constructor) *)
+  | Number of { text : string; is_float : bool }
+  | Str of string  (** string literal, unescaped content *)
+  | Chr  (** character literal *)
+  | Op of string  (** operator or punctuation, e.g. ["="], ["."], ["("] *)
+
+type loc_token = { tok : token; line : int (** 1-based *) }
+
+type doc = { doc_start : int; doc_end : int }
+(** Line span of one [(** ... *)] doc comment. *)
+
+type lexed = {
+  tokens : loc_token array;  (** code tokens in source order *)
+  docs : doc list;  (** doc comments in source order *)
+  allows : (string * int) list;
+      (** [(rule, line)] for each [(* lint: allow <rule> ... *)] comment *)
+}
+
+val lex : string -> lexed
+(** [lex source] tokenizes [source].  Total: any byte string yields a
+    result. *)

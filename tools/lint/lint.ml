@@ -1,0 +1,72 @@
+(* mppm-lint driver: walk the tree, print findings, exit 1 on errors.
+
+   Usage: lint.exe [--root DIR] [--format text|json] [--only RULE]... *)
+
+module Diag = Mppm_lint.Diag
+module Engine = Mppm_lint.Engine
+module Rules = Mppm_lint.Rules
+
+type format = Text | Json
+
+let usage = "lint.exe [--root DIR] [--format text|json] [--only RULE]..."
+
+let () =
+  let root = ref "." in
+  let format = ref Text in
+  let only = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR  repository root to lint (default .)");
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "json" ],
+            fun s -> format := if s = "json" then Json else Text ),
+        "  output format (default text)" );
+      ( "--only",
+        Arg.String
+          (fun r ->
+            if not (List.mem r Rules.all_rule_ids) then begin
+              Printf.eprintf "lint: unknown rule %s (known: %s)\n" r
+                (String.concat " " Rules.all_rule_ids);
+              exit 2
+            end;
+            only := r :: !only),
+        "RULE  restrict to one rule id (repeatable)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a ->
+      Printf.eprintf "lint: unexpected argument %s\n" a;
+      exit 2)
+    usage;
+  (* A typo'd --root must not pass as an empty (hence clean) tree. *)
+  if
+    not
+      (List.exists
+         (fun d -> Sys.file_exists (Filename.concat !root d))
+         Engine.scanned_dirs)
+  then begin
+    Printf.eprintf "lint: %s contains none of the scanned directories (%s)\n"
+      !root
+      (String.concat " " Engine.scanned_dirs);
+    exit 2
+  end;
+  let diags = Engine.lint_tree ~root:!root in
+  let diags =
+    match !only with
+    | [] -> diags
+    | rules -> List.filter (fun d -> List.mem d.Diag.rule rules) diags
+  in
+  let errors = Engine.errors diags in
+  (match !format with
+  | Json -> print_endline (Diag.list_to_json diags)
+  | Text ->
+      List.iter (fun d -> print_endline (Diag.to_text d)) diags;
+      Printf.printf "%d finding%s (%d error%s, %d warning%s)\n"
+        (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+        (List.length errors)
+        (if List.length errors = 1 then "" else "s")
+        (List.length diags - List.length errors)
+        (if List.length diags - List.length errors = 1 then "" else "s"));
+  exit (if errors <> [] then 1 else 0)

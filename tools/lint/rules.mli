@@ -1,0 +1,46 @@
+(** The lint rules.
+
+    Rule ids (each suppressible at a finding's line, or the line above it,
+    with a [(* lint: allow <rule> *)] comment):
+
+    - [D1] — nondeterminism sources banned in [lib/]: the stdlib [Random]
+      module, wall-clock reads ([Sys.time], [Unix.gettimeofday], ...),
+      [Hashtbl.hash]-family functions, and [Hashtbl.create] without an
+      explicit [~random:false].  Also flags [lib/] dune files linking the
+      [unix] library.
+    - [D2] — stdlib [Random] used outside [lib/util/rng.ml] anywhere in the
+      scanned tree: all randomness must flow through [Mppm_util.Rng].
+    - [F1] — float equality via polymorphic [=]/[==]/[<>]/[!=]/[compare]
+      against a float literal in comparison position; use
+      [Mppm_util.Stats.approx_equal] (or [Float.equal] when exactness is
+      intended).
+    - [M1] — every public module under [lib/] has an [.mli], and every
+      [val]/[external] item of a [lib/] [.mli] carries a doc comment
+      ([type]/[exception] items get warnings).
+    - [E1] — [failwith]/[invalid_arg] in [lib/] code with a literal message
+      must prefix the message with the module name ("Model.predict: ..." or
+      "Metrics: ..."). *)
+
+type ctx = {
+  rel : string;  (** root-relative path, '/'-separated *)
+  in_lib : bool;  (** true when [rel] is under [lib/] *)
+  is_mli : bool;
+  module_name : string;  (** capitalized basename, e.g. ["Model"] *)
+}
+
+val all_rule_ids : string list
+(** The known rule identifiers, in report order. *)
+
+val context_of_rel : string -> ctx
+(** Derive a {!ctx} from a root-relative path. *)
+
+val check_tokens : ctx -> Lexer.lexed -> Diag.t list
+(** Run every token-level rule applicable to [ctx] over one lexed file.
+    Suppression comments are {e not} applied here (see
+    {!Engine.lint_source}). *)
+
+val check_dune : rel:string -> string -> Diag.t list
+(** Rules for [dune] files: [lib/] libraries must not link [unix] (D1). *)
+
+val missing_mli : rel_ml:string -> Diag.t
+(** The M1 diagnostic for a [lib/] module lacking an [.mli]. *)
