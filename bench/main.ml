@@ -35,6 +35,29 @@ let section title =
 
 let std = Format.std_formatter
 
+(* Wall-clock phase spans and progress lines.  The clock stays in bench/
+   (and tools/): lib/ is wall-clock-free by lint rule D1, so all timing
+   observability for experiments lives here. *)
+let phase name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  result
+
+(* A per-mix callback for Accuracy.evaluate: one carriage-return progress
+   line with elapsed time and a linear ETA. *)
+let progress_eta label =
+  let t0 = Unix.gettimeofday () in
+  fun ~done_ ~total ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let eta =
+      if done_ = 0 then 0.0
+      else elapsed /. float_of_int done_ *. float_of_int (total - done_)
+    in
+    Printf.printf "\r%-24s %3d/%d mixes  %4.0fs elapsed  ETA %4.0fs %!" label
+      done_ total elapsed eta;
+    if done_ >= total then print_newline ()
+
 (* Optional CSV export of figure data (--csv DIR). *)
 let csv_dir : string option ref = ref None
 
@@ -94,20 +117,20 @@ let run_accuracy ctx ~mixes ~sixteen_core_mixes =
   let runs =
     List.map
       (fun cores ->
-        let t0 = Unix.gettimeofday () in
-        let run = Accuracy.evaluate ctx ~llc_config:1 ~cores ~count:mixes in
-        Printf.printf "[%d cores: %.0fs]\n%!" cores (Unix.gettimeofday () -. t0);
-        run)
+        let label = Printf.sprintf "%d cores" cores in
+        phase label (fun () ->
+            Accuracy.evaluate ~on_mix:(progress_eta label) ctx ~llc_config:1
+              ~cores ~count:mixes))
       [ 2; 4; 8 ]
   in
   let runs =
     if sixteen_core_mixes > 0 then begin
-      let t0 = Unix.gettimeofday () in
+      let label = "16 cores (config #4)" in
       let run =
-        Accuracy.evaluate ctx ~llc_config:4 ~cores:16 ~count:sixteen_core_mixes
+        phase label (fun () ->
+            Accuracy.evaluate ~on_mix:(progress_eta label) ctx ~llc_config:4
+              ~cores:16 ~count:sixteen_core_mixes)
       in
-      Printf.printf "[16 cores (config #4): %.0fs]\n%!"
-        (Unix.gettimeofday () -. t0);
       runs @ [ run ]
     end
     else runs
@@ -184,9 +207,7 @@ let run_fig7_8 ctx ~paper_scale =
   let options =
     if paper_scale then Ranking.paper_options else Ranking.default_options
   in
-  let t0 = Unix.gettimeofday () in
-  let t = Ranking.run ctx options in
-  Printf.printf "[ranking: %.0fs]\n%!" (Unix.gettimeofday () -. t0);
+  let t = phase "ranking" (fun () -> Ranking.run ctx options) in
   Ranking.pp_fig7 std t;
   Format.pp_print_newline std ();
   Ranking.pp_fig8 std t
@@ -659,18 +680,27 @@ let all_sections =
   ]
 
 let run trace mixes seed cache_dir only paper_scale csv =
+  (match List.filter (fun s -> not (List.mem s all_sections)) only with
+  | [] -> ()
+  | unknown ->
+      failwith
+        (Printf.sprintf "Main.run: unknown --only section(s): %s (valid: %s)"
+           (String.concat ", " unknown)
+           (String.concat ", " all_sections)));
   csv_dir := csv;
   let scale = Scale.of_trace trace in
   let ctx = Context.create ~seed ~cache_dir scale in
   let wants name = List.mem name only in
+  let timed name f = phase ("section " ^ name) f in
   Format.fprintf std "MPPM benchmark harness: %a, seed %d@." Scale.pp scale
     seed;
   if wants "table1" || wants "table2" then run_tables ();
-  if wants "fig3" then run_fig3 ctx ~mixes;
+  if wants "fig3" then timed "fig3" (fun () -> run_fig3 ctx ~mixes);
   let accuracy_runs =
     if wants "fig4" || wants "fig5" || wants "fig6" || wants "fig9" then
-      run_accuracy ctx ~mixes
-        ~sixteen_core_mixes:(if paper_scale then 25 else max 3 (mixes / 8))
+      timed "fig4+fig5" (fun () ->
+          run_accuracy ctx ~mixes
+            ~sixteen_core_mixes:(if paper_scale then 25 else max 3 (mixes / 8)))
     else []
   in
   let four_core =
@@ -678,18 +708,22 @@ let run trace mixes seed cache_dir only paper_scale csv =
   in
   (match four_core with
   | Some run ->
-      if wants "fig6" then run_fig6 ctx run;
-      if wants "fig9" then run_fig9 run
+      if wants "fig6" then timed "fig6" (fun () -> run_fig6 ctx run);
+      if wants "fig9" then timed "fig9" (fun () -> run_fig9 run)
   | None -> ());
-  if wants "fig7" || wants "fig8" then run_fig7_8 ctx ~paper_scale;
-  if wants "speed" then run_speed ctx;
-  if wants "ablation" then run_ablation ctx ~mixes;
-  if wants "derivation" then run_derivation ctx ~mixes;
-  if wants "partition" then run_partition ctx ~mixes;
-  if wants "bandwidth" then run_bandwidth ctx ~mixes;
-  if wants "cophase" then run_cophase ctx ~mixes;
-  if wants "simpoint" then run_simpoint ctx ~mixes;
-  if wants "micro" then run_micro ctx;
+  if wants "fig7" || wants "fig8" then
+    timed "fig7+fig8" (fun () -> run_fig7_8 ctx ~paper_scale);
+  if wants "speed" then timed "speed" (fun () -> run_speed ctx);
+  if wants "ablation" then timed "ablation" (fun () -> run_ablation ctx ~mixes);
+  if wants "derivation" then
+    timed "derivation" (fun () -> run_derivation ctx ~mixes);
+  if wants "partition" then
+    timed "partition" (fun () -> run_partition ctx ~mixes);
+  if wants "bandwidth" then
+    timed "bandwidth" (fun () -> run_bandwidth ctx ~mixes);
+  if wants "cophase" then timed "cophase" (fun () -> run_cophase ctx ~mixes);
+  if wants "simpoint" then timed "simpoint" (fun () -> run_simpoint ctx ~mixes);
+  if wants "micro" then timed "micro" (fun () -> run_micro ctx);
   Printf.printf "\ndone.\n"
 
 open Cmdliner
@@ -738,4 +772,8 @@ let cmd =
     Term.(
       const run $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  try exit (Cmd.eval ~catch:false cmd)
+  with Failure msg ->
+    prerr_endline ("mppm-bench: " ^ msg);
+    exit 2

@@ -8,9 +8,15 @@
      compare              predict + simulate + error report for a mix
      population           combinatorics of the mix population
      rank-configs         rank the six LLC configs with MPPM
+     cache                profile-cache statistics and pruning
+     trace-report         render a recorded model event trace
 
    Every subcommand shares the scale/seed/cache options, so a profile
-   computed once (or by the bench harness) is reused everywhere. *)
+   computed once (or by the bench harness) is reused everywhere.
+
+   This file owns all trace *file* writers (JSONL and Chrome trace JSON):
+   lib/obs only serializes events to strings, so the model core never
+   touches an output channel. *)
 
 module Suite = Mppm_trace.Suite
 module Benchmark = Mppm_trace.Benchmark
@@ -36,7 +42,7 @@ let common_term =
   let trace =
     Arg.(
       value & opt int 2_000_000
-      & info [ "trace" ] ~doc:"Trace length in instructions.")
+      & info [ "length" ] ~doc:"Trace length in instructions.")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master random seed.")
@@ -60,6 +66,76 @@ let mix_arg =
     & pos_all string []
     & info [] ~docv:"BENCHMARK"
         ~doc:"Benchmark names forming the mix (repeat a name for copies).")
+
+(* ---- trace output -------------------------------------------------- *)
+
+module Obs_event = Mppm_obs.Event
+module Obs_sink = Mppm_obs.Sink
+module Obs_trace = Mppm_obs.Trace
+module Registry = Mppm_obs.Registry
+
+(* A sink that streams events to [path] as they are emitted.  JSONL is one
+   event per line; Chrome trace JSON is one array usable directly in
+   chrome://tracing / Perfetto. *)
+let file_sink path format =
+  let oc = open_out path in
+  match format with
+  | `Jsonl ->
+      Obs_sink.make
+        ~close:(fun () -> close_out oc)
+        (fun ev ->
+          output_string oc (Obs_event.to_jsonl ev);
+          output_char oc '\n')
+  | `Chrome ->
+      output_string oc "[";
+      let first = ref true in
+      Obs_sink.make
+        ~close:(fun () ->
+          output_string oc "\n]\n";
+          close_out oc)
+        (fun ev ->
+          if !first then first := false else output_string oc ",";
+          output_string oc "\n";
+          output_string oc (Obs_event.to_chrome ev))
+
+let trace_term =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the model's event trace to $(docv).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:"Trace file format: $(b,jsonl) (default) or $(b,chrome).")
+  in
+  Term.(const (fun file format -> (file, format)) $ file $ format)
+
+(* Run [f] with a trace handle per the --trace/--trace-format options;
+   Trace.null when no file was requested (the zero-cost default). *)
+let with_obs (file, format) f =
+  match file with
+  | None -> f Obs_trace.null
+  | Some path ->
+      let obs = Obs_trace.of_sink (file_sink path format) in
+      Fun.protect ~finally:(fun () -> Obs_trace.close obs) (fun () -> f obs)
+
+let verbose_term =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:"Also print profile-cache statistics for this run.")
+
+let pp_cache_counters () =
+  let v name = Registry.get ("profile_cache." ^ name) in
+  Format.fprintf std
+    "profile cache: %.0f disk hits, %.0f memo hits, %.0f misses, %.0f stale \
+     entries seen@."
+    (v "hits") (v "memo_hits") (v "misses") (v "stale")
 
 (* ---- suite --------------------------------------------------------- *)
 
@@ -109,13 +185,18 @@ let pp_predicted result =
     result.Model.antt
 
 let predict_cmd =
-  let run common names =
+  let run common trace verbose names =
     let mix = Mix.of_names (Array.of_list names) in
-    pp_predicted (Context.predict common.ctx ~llc_config:common.llc_config mix)
+    let result =
+      with_obs trace (fun obs ->
+          Context.predict ~obs common.ctx ~llc_config:common.llc_config mix)
+    in
+    pp_predicted result;
+    if verbose then pp_cache_counters ()
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict a mix's multi-core performance with MPPM.")
-    Term.(const run $ common_term $ mix_arg)
+    Term.(const run $ common_term $ trace_term $ verbose_term $ mix_arg)
 
 let pp_measured (m : Context.measured) =
   Format.fprintf std "detailed simulation:@.";
@@ -139,21 +220,25 @@ let simulate_cmd =
     Term.(const run $ common_term $ mix_arg)
 
 let compare_cmd =
-  let run common names =
+  let run common trace verbose names =
     let mix = Mix.of_names (Array.of_list names) in
-    let predicted = Context.predict common.ctx ~llc_config:common.llc_config mix in
+    let predicted =
+      with_obs trace (fun obs ->
+          Context.predict ~obs common.ctx ~llc_config:common.llc_config mix)
+    in
     let measured = Context.detailed common.ctx ~llc_config:common.llc_config mix in
     pp_predicted predicted;
     pp_measured measured;
     let err p m = 100.0 *. abs_float (p -. m) /. m in
     Format.fprintf std "errors: STP %.1f%%  ANTT %.1f%%@."
       (err predicted.Model.stp measured.Context.m_stp)
-      (err predicted.Model.antt measured.Context.m_antt)
+      (err predicted.Model.antt measured.Context.m_antt);
+    if verbose then pp_cache_counters ()
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Predict and simulate a mix; report the prediction error.")
-    Term.(const run $ common_term $ mix_arg)
+    Term.(const run $ common_term $ trace_term $ verbose_term $ mix_arg)
 
 (* ---- population ------------------------------------------------------ *)
 
@@ -292,6 +377,174 @@ let trace_stats_cmd =
        ~doc:"Replay a recorded trace through a cache and print its SDC.")
     Term.(const run $ path $ size_kb $ assoc)
 
+(* ---- cache --------------------------------------------------------- *)
+
+let cache_stats_cmd =
+  let run common =
+    match Context.scan_cache common.ctx with
+    | None -> Format.fprintf std "no profile cache directory configured@."
+    | Some r ->
+        Format.fprintf std
+          "profile cache: %d live, %d stale, %d foreign entr%s@."
+          (List.length r.Context.cr_live)
+          (List.length r.Context.cr_stale)
+          (List.length r.Context.cr_foreign)
+          (if
+             List.length r.Context.cr_live
+             + List.length r.Context.cr_stale
+             + List.length r.Context.cr_foreign
+             = 1
+           then "y"
+           else "ies");
+        List.iter
+          (fun f -> Format.fprintf std "  stale: %s@." f)
+          r.Context.cr_stale
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Classify the profile cache: live entries (fingerprint matches a \
+          current benchmark/config), stale entries (recognized name but \
+          outdated fingerprint), foreign files.")
+    Term.(const run $ common_term)
+
+let cache_prune_cmd =
+  let run common =
+    let deleted = Context.prune_cache common.ctx in
+    List.iter (fun f -> Format.fprintf std "deleted %s@." f) deleted;
+    Format.fprintf std "%d stale entr%s pruned@." (List.length deleted)
+      (if List.length deleted = 1 then "y" else "ies")
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:
+         "Delete profile-cache entries whose fingerprint no longer matches \
+          any known benchmark/config pair.  Live and foreign files are kept.")
+    Term.(const run $ common_term)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or prune the profile cache directory.")
+    [ cache_stats_cmd; cache_prune_cmd ]
+
+(* ---- trace-report ---------------------------------------------------- *)
+
+let read_jsonl_events path =
+  let ic = open_in path in
+  let events = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Obs_event.of_jsonl line with
+         | Ok ev -> events := ev :: !events
+         | Error msg ->
+             close_in ic;
+             failwith (Printf.sprintf "Mppm.trace_report: %s: %s" path msg)
+     done
+   with End_of_file -> close_in ic);
+  List.rev !events
+
+let trace_report_cmd =
+  let run path =
+    let events = read_jsonl_events path in
+    let named name = List.filter (fun ev -> ev.Obs_event.name = name) events in
+    let quanta = named "model.quantum" in
+    if quanta = [] then
+      failwith
+        (Printf.sprintf "Mppm.trace_report: %s holds no model.quantum events"
+           path);
+    let programs =
+      match named "model.start" with
+      | start :: _ ->
+          Option.value
+            (Obs_event.string_list_field start "programs")
+            ~default:[]
+      | [] -> []
+    in
+    let n =
+      match quanta with
+      | q :: _ -> (
+          match Obs_event.float_list_field q "r_after" with
+          | Some rs -> List.length rs
+          | None -> List.length programs)
+      | [] -> 0
+    in
+    let programs =
+      if List.length programs = n then Array.of_list programs
+      else Array.init n (Printf.sprintf "P%d")
+    in
+    (* Convergence records pair 1:1 with quanta via their iter field. *)
+    let delta_of =
+      let tbl = Hashtbl.create ~random:false 64 in
+      List.iter
+        (fun ev ->
+          match (Obs_event.int_field ev "iter",
+                 Obs_event.float_field ev "max_delta_r") with
+          | Some iter, Some d -> Hashtbl.replace tbl iter d
+          | _ -> ())
+        (named "model.convergence");
+      fun iter -> Hashtbl.find_opt tbl iter
+    in
+    Format.fprintf std "%s: %d quanta over %d programs (%s)@.@." path
+      (List.length quanta) n
+      (String.concat " " (Array.to_list programs));
+    Format.fprintf std "  iter  slowest       budget (cycles)   max dR";
+    Array.iter (fun p -> Format.fprintf std "  %8s"
+                   (if String.length p > 8 then String.sub p 0 8 else p))
+      programs;
+    Format.fprintf std "@.";
+    List.iter
+      (fun q ->
+        let iter = Option.value (Obs_event.int_field q "iter") ~default:(-1) in
+        let slowest =
+          match Obs_event.int_field q "slowest" with
+          | Some i when i >= 0 && i < n -> programs.(i)
+          | _ -> "?"
+        in
+        let budget =
+          Option.value (Obs_event.float_field q "budget_cycles") ~default:0.0
+        in
+        Format.fprintf std "  %4d  %-12s  %16.0f  " iter slowest budget;
+        (match delta_of iter with
+        | Some d -> Format.fprintf std "%7.4f" d
+        | None -> Format.fprintf std "%7s" "-");
+        (match Obs_event.float_list_field q "r_after" with
+        | Some rs -> List.iter (fun r -> Format.fprintf std "  %8.4f" r) rs
+        | None -> ());
+        Format.fprintf std "@.")
+      quanta;
+    (* R_p trajectories, one series per program (Fig. 3 style). *)
+    let trajectory i =
+      Array.of_list
+        (List.filter_map
+           (fun q ->
+             match Obs_event.float_list_field q "r_after" with
+             | Some rs -> List.nth_opt rs i
+             | None -> None)
+           quanta)
+    in
+    let series =
+      Array.to_list (Array.mapi (fun i p -> (p, trajectory i)) programs)
+    in
+    Format.fprintf std "@.%s@."
+      (Mppm_util.Ascii_plot.series ~x_label:"quantum" ~y_label:"R_p" series);
+    (match named "model.result" with
+    | result :: _ ->
+        Format.fprintf std "converged after %d iterations:  STP %.3f   ANTT %.3f@."
+          (Option.value (Obs_event.int_field result "iterations") ~default:0)
+          (Option.value (Obs_event.float_field result "stp") ~default:nan)
+          (Option.value (Obs_event.float_field result "antt") ~default:nan)
+    | [] -> ())
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Render a JSONL model trace (from --trace) as a per-quantum \
+          convergence table plus R_p trajectory plot.")
+    Term.(const run $ path)
+
 (* ---- main ------------------------------------------------------------ *)
 
 let () =
@@ -301,6 +554,6 @@ let () =
        (Cmd.group (Cmd.info "mppm" ~doc)
           [
             suite_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-            population_cmd; rank_cmd; categories_cmd; trace_record_cmd;
-            trace_stats_cmd;
+            population_cmd; rank_cmd; categories_cmd; cache_cmd;
+            trace_record_cmd; trace_stats_cmd; trace_report_cmd;
           ]))

@@ -228,6 +228,13 @@ let owner_lines t ~owner =
       !total
   | None -> if owner = 0 then resident_lines t else 0
 
+let counters t =
+  [
+    ("accesses", float_of_int t.accesses);
+    ("hits", float_of_int t.hits);
+    ("misses", float_of_int t.misses);
+  ]
+
 let pp_stats ppf t =
   Format.fprintf ppf "%a: %d accesses, %d hits, %d misses (%.2f%% miss rate)"
     Geometry.pp t.geometry t.accesses t.hits t.misses (100.0 *. miss_rate t)

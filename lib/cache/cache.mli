@@ -74,5 +74,10 @@ val clear : t -> unit
 val resident_lines : t -> int
 (** Number of currently valid lines (for occupancy assertions). *)
 
+val counters : t -> (string * float) list
+(** The statistics counters as observability pairs
+    ([accesses]/[hits]/[misses]), ready for
+    [Mppm_obs.Registry.add_all]. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line rendering of the statistics counters. *)

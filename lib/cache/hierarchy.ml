@@ -97,6 +97,20 @@ let reset_stats t =
   Cache.reset_stats t.l1d_cache;
   Cache.reset_stats t.l2_cache
 
+let counters t =
+  let level name cache =
+    List.map (fun (k, v) -> (name ^ "." ^ k, v)) (Cache.counters cache)
+  in
+  level "l1i" t.l1i_cache
+  @ level "l1d" t.l1d_cache
+  @ level "l2" t.l2_cache
+  (* The LLC may be shared between cores; report this core's own view. *)
+  @ [
+      ("llc.accesses", float_of_int t.llc_accesses);
+      ("llc.misses", float_of_int t.llc_misses);
+      ("llc.hits", float_of_int (t.llc_accesses - t.llc_misses));
+    ]
+
 let pp_level ppf (name, level) =
   Format.fprintf ppf "%-10s %a, %d cycle%s" name Geometry.pp level.geometry
     level.latency

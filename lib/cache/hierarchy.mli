@@ -64,5 +64,12 @@ val llc_misses : t -> int
 val reset_stats : t -> unit
 (** Clears this core's LLC access/miss counters (cache contents kept). *)
 
+val counters : t -> (string * float) list
+(** Per-level aggregate counters as observability pairs:
+    [l1i.*]/[l1d.*]/[l2.*] from the private caches' statistics, plus this
+    core's own [llc.accesses]/[llc.hits]/[llc.misses] (correct even when
+    the LLC instance is shared).  Ready for
+    [Mppm_obs.Registry.add_all]. *)
+
 val pp_config : Format.formatter -> config -> unit
 (** Human-readable rendering of a hierarchy configuration. *)

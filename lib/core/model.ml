@@ -1,6 +1,8 @@
 module Profile = Mppm_profile.Profile
 module Contention = Mppm_contention.Contention
 module Invariant = Mppm_util.Invariant
+module Trace = Mppm_obs.Trace
+module Event = Mppm_obs.Event
 
 type update_rule = Paper_literal | Consistent
 
@@ -97,7 +99,7 @@ let miss_penalty profile (w : Profile.window) =
       /. total_misses
     else 0.0
 
-let run params inputs ~record =
+let run ?(obs = Trace.null) params inputs ~record =
   validate params inputs;
   let states =
     Array.map
@@ -111,9 +113,31 @@ let run params inputs ~record =
         })
       inputs
   in
+  let n = Array.length states in
   let l = float_of_int params.iteration_instructions in
   let history = ref [] in
   let iterations = ref 0 in
+  (* Virtual clock for trace timestamps: cumulative epoch cycles.  Only
+     read by the observability layer; never feeds back into the model. *)
+  let clock = ref 0.0 in
+  let observing = Trace.enabled obs in
+  (* Per-epoch scratch only the trace needs; left empty when no sink is
+     attached so the untraced hot loop allocates nothing extra. *)
+  let obs_penalty = if observing then Array.make n 0.0 else [||] in
+  let obs_miss_cycles = if observing then Array.make n 0.0 else [||] in
+  let obs_r_before = if observing then Array.make n 0.0 else [||] in
+  Trace.emit obs (fun () ->
+      Event.make ~name:"model.start" ~time:0.0
+        [
+          ("programs",
+           Event.List
+             (Array.to_list
+                (Array.map (fun st -> Event.String st.input.label) states)));
+          ("iteration_instructions", Event.Int params.iteration_instructions);
+          ("smoothing", Event.Float params.smoothing);
+          ("stop_trace_multiplier", Event.Float params.stop_trace_multiplier);
+          ("contention", Event.String (Contention.model_name params.contention));
+        ]);
   let stop_reached () =
     Array.for_all
       (fun st -> st.ip >= params.stop_trace_multiplier *. st.trace_length)
@@ -127,10 +151,20 @@ let run params inputs ~record =
         (fun st -> Profile.window st.input.profile ~start:st.ip ~count:l)
         states
     in
+    let slowest = ref 0 in
     let epoch_cycles =
-      Array.to_list window_l
-      |> List.mapi (fun i w -> Profile.window_cpi w *. states.(i).r *. l)
-      |> List.fold_left Float.max 0.0
+      (* Same value as a Float.max fold; additionally remembers which
+         program set the budget (the first argmax). *)
+      let best = ref 0.0 in
+      Array.iteri
+        (fun i w ->
+          let projected = Profile.window_cpi w *. states.(i).r *. l in
+          if projected > !best then begin
+            best := projected;
+            slowest := i
+          end)
+        window_l;
+      !best
     in
     (* Step 2: per-program progress within C cycles. *)
     let progress =
@@ -177,6 +211,8 @@ let run params inputs ~record =
             *. contention.Contention.shared_misses.(i)
     in
     (* Step 5: price the conflict misses and update the slowdowns. *)
+    if observing then
+      Array.iteri (fun i st -> obs_r_before.(i) <- st.r) states;
     Array.iteri
       (fun i st ->
         let penalty = miss_penalty st.input.profile windows.(i) in
@@ -184,6 +220,10 @@ let run params inputs ~record =
           (contention.Contention.extra_misses.(i) *. penalty)
           +. queueing_extra i
         in
+        if observing then begin
+          obs_penalty.(i) <- penalty;
+          obs_miss_cycles.(i) <- miss_cycles
+        end;
         let current =
           match params.update_rule with
           | Paper_literal -> 1.0 +. (miss_cycles /. epoch_cycles)
@@ -212,6 +252,43 @@ let run params inputs ~record =
     if Invariant.enabled () then
       Invariant.check "model.epoch_positive"
         (Float.is_finite epoch_cycles && epoch_cycles > 0.0);
+    if observing then begin
+      let floats a = Event.List (Array.to_list (Array.map (fun x -> Event.Float x) a)) in
+      let iter = !iterations in
+      let time = !clock in
+      Trace.emit obs (fun () ->
+          Event.make ~name:"model.quantum" ~time ~dur:epoch_cycles
+            [
+              ("iter", Event.Int iter);
+              ("slowest", Event.Int !slowest);
+              ("budget_cycles", Event.Float epoch_cycles);
+              ("progress", floats progress);
+              ("sdc_mass",
+               floats (Array.map Mppm_cache.Sdc.accesses sdcs));
+              ("extra_misses",
+               floats contention.Contention.extra_misses);
+              ("miss_penalty", floats obs_penalty);
+              ("penalty_cycles", floats obs_miss_cycles);
+              ("r_before", floats obs_r_before);
+              ("r_after", floats (Array.map (fun st -> st.r) states));
+            ]);
+      let max_delta = ref 0.0 and r_sum = ref 0.0 in
+      Array.iteri
+        (fun i st ->
+          let d = Float.abs (st.r -. obs_r_before.(i)) in
+          if d > !max_delta then max_delta := d;
+          r_sum := !r_sum +. st.r)
+        states;
+      let max_delta = !max_delta and mean_r = !r_sum /. float_of_int n in
+      Trace.emit obs (fun () ->
+          Event.make ~name:"model.convergence" ~time:(time +. epoch_cycles)
+            [
+              ("iter", Event.Int iter);
+              ("max_delta_r", Event.Float max_delta);
+              ("mean_r", Event.Float mean_r);
+            ])
+    end;
+    clock := !clock +. epoch_cycles;
     if record then
       history :=
         {
@@ -236,20 +313,32 @@ let run params inputs ~record =
       states
   in
   let slowdowns = Array.map (fun p -> p.slowdown) programs in
-  ( {
+  let result =
+    {
       programs;
       stp = Metrics.stp_of_slowdowns slowdowns;
       antt = Metrics.antt_of_slowdowns slowdowns;
       iterations = !iterations;
-    },
-    List.rev !history )
+    }
+  in
+  Trace.emit obs (fun () ->
+      Event.make ~name:"model.result" ~time:!clock
+        [
+          ("iterations", Event.Int result.iterations);
+          ("stp", Event.Float result.stp);
+          ("antt", Event.Float result.antt);
+          ("slowdowns",
+           Event.List
+             (Array.to_list (Array.map (fun s -> Event.Float s) slowdowns)));
+        ]);
+  (result, List.rev !history)
 
-let predict params inputs = fst (run params inputs ~record:false)
+let predict ?obs params inputs = fst (run ?obs params inputs ~record:false)
 
-let predict_profiles params profiles =
-  predict params
+let predict_profiles ?obs params profiles =
+  predict ?obs params
     (Array.map
        (fun profile -> { label = profile.Profile.benchmark; profile })
        profiles)
 
-let predict_with_history params inputs = run params inputs ~record:true
+let predict_with_history ?obs params inputs = run ?obs params inputs ~record:true

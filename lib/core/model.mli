@@ -80,12 +80,22 @@ type result = {
 (** A full prediction: per-program outputs plus the mix's system
     throughput, average normalized turnaround time and iteration count. *)
 
-val predict : params -> program_input array -> result
+val predict : ?obs:Mppm_obs.Trace.t -> params -> program_input array -> result
 (** [predict params programs] runs the iterative model.  All profiles must
     have been collected at the same LLC associativity.  Raises
-    [Invalid_argument] on malformed parameters or inputs. *)
+    [Invalid_argument] on malformed parameters or inputs.
 
-val predict_profiles : params -> Mppm_profile.Profile.t array -> result
+    [obs] (default {!Mppm_obs.Trace.null}) streams the model's internals:
+    one [model.start] event, then per quantum a [model.quantum] span
+    (iteration, slowest program, budget C, per-program progress, window
+    SDC mass, FOA extra misses, miss penalty, conflict-miss cycles, R_p
+    before/after the EMA) and a [model.convergence] instant (max |ΔR_p|,
+    mean R_p), then a final [model.result].  Timestamps are virtual —
+    cumulative epoch cycles — and tracing never changes the prediction:
+    results are bit-for-bit identical with and without a sink. *)
+
+val predict_profiles :
+  ?obs:Mppm_obs.Trace.t -> params -> Mppm_profile.Profile.t array -> result
 (** Convenience wrapper labelling each program by its profile's benchmark
     name. *)
 
@@ -98,6 +108,9 @@ type iteration_record = {
 }
 
 val predict_with_history :
-  params -> program_input array -> result * iteration_record list
+  ?obs:Mppm_obs.Trace.t ->
+  params ->
+  program_input array ->
+  result * iteration_record list
 (** Like {!predict} but also returns the iteration history, oldest
     first. *)

@@ -18,17 +18,24 @@ type run = {
   slowdown_error : float;
 }
 
-let evaluate ctx ~llc_config ~cores ~count =
+let evaluate ?on_mix ctx ~llc_config ~cores ~count =
   let rng = Context.rng ctx (Printf.sprintf "accuracy-%d-%d" llc_config cores) in
   let mixes = Sampler.random_mixes rng ~cores ~count in
+  let total = Array.length mixes in
   let evals =
-    Array.map
-      (fun mix ->
-        {
-          mix;
-          measured = Context.detailed ctx ~llc_config mix;
-          predicted = Context.predict ctx ~llc_config mix;
-        })
+    Array.mapi
+      (fun i mix ->
+        let eval =
+          {
+            mix;
+            measured = Context.detailed ctx ~llc_config mix;
+            predicted = Context.predict ctx ~llc_config mix;
+          }
+        in
+        (match on_mix with
+        | Some f -> f ~done_:(i + 1) ~total
+        | None -> ());
+        eval)
       mixes
   in
   let collect f = Array.map f evals in

@@ -19,11 +19,18 @@ type run = {
 }
 
 val evaluate :
-  Context.t -> llc_config:int -> cores:int -> count:int -> run
+  ?on_mix:(done_:int -> total:int -> unit) ->
+  Context.t ->
+  llc_config:int ->
+  cores:int ->
+  count:int ->
+  run
 (** [evaluate ctx ~llc_config ~cores ~count] draws [count] random mixes
     (paper: 150 for 2/4/8 cores on config #1; 25 for 16 cores on config
     #4), runs detailed simulation and MPPM on each, and aggregates the
-    errors. *)
+    errors.  [on_mix], if given, is called after each mix with the number
+    completed so far — progress reporting lives in the caller; the
+    library never prints. *)
 
 val scatter_stp : run -> (float * float) array
 (** (predicted, measured) STP pairs — the dots of Fig. 4(a). *)

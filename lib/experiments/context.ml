@@ -10,6 +10,7 @@ module Metrics = Mppm_core.Metrics
 module Mix = Mppm_workload.Mix
 module Category = Mppm_workload.Category
 module Fingerprint = Mppm_util.Fingerprint
+module Registry = Mppm_obs.Registry
 
 type t = {
   scale : Scale.t;
@@ -68,8 +69,10 @@ let hierarchy _t ~llc_config = Configs.baseline ~llc:llc_config ()
 let cache_path t ~llc_config bench_index =
   Option.map
     (fun dir ->
-      (* The digest covers everything the profile depends on, so a stale
-         cache entry can never be mistaken for the requested profile. *)
+      (* The digest covers everything the profile depends on — including
+         the serialization format version, so entries written by an older
+         (lossier) writer read as stale, never as the requested
+         profile. *)
       let benchmark = Suite.all.(bench_index) in
       let digest =
         Fingerprint.to_hex
@@ -78,7 +81,8 @@ let cache_path t ~llc_config bench_index =
                t.core,
                hierarchy t ~llc_config,
                t.scale,
-               Suite.seed_for benchmark.Mppm_trace.Benchmark.name ))
+               Suite.seed_for benchmark.Mppm_trace.Benchmark.name,
+               Profile.format_version ))
       in
       Filename.concat dir
         (Printf.sprintf "%s-cfg%d-%s.prof" Suite.names.(bench_index)
@@ -94,24 +98,116 @@ let compute_profile t ~llc_config bench_index =
     ~trace_instructions:t.scale.Scale.trace_instructions
     ~interval_instructions:t.scale.Scale.interval_instructions
 
+(* Cache-directory entries for benchmark [bench_index] at [llc_config] whose
+   fingerprint digest no longer matches: the human-readable
+   "name-cfgN-" prefix is recognized but the digest differs, i.e. some
+   profile input (core params, hierarchy, scale, seed, spec) changed. *)
+let stale_siblings t ~llc_config bench_index =
+  match (t.cache_dir, cache_path t ~llc_config bench_index) with
+  | Some dir, Some live ->
+      let live_base = Filename.basename live in
+      let prefix =
+        Printf.sprintf "%s-cfg%d-" Suite.names.(bench_index) llc_config
+      in
+      Array.fold_left
+        (fun acc f ->
+          if
+            f <> live_base
+            && String.starts_with ~prefix f
+            && Filename.check_suffix f ".prof"
+          then acc + 1
+          else acc)
+        0 (Sys.readdir dir)
+  | _ -> 0
+
 let profile t ~llc_config bench_index =
   if bench_index < 0 || bench_index >= Suite.count then
     invalid_arg "Context.profile: bad benchmark index";
   let key = (llc_config, bench_index) in
   match Hashtbl.find_opt t.profiles key with
-  | Some p -> p
+  | Some p ->
+      Registry.incr "profile_cache.memo_hits";
+      p
   | None ->
       let p =
         match cache_path t ~llc_config bench_index with
-        | Some path when Sys.file_exists path -> Profile.load path
+        | Some path when Sys.file_exists path ->
+            Registry.incr "profile_cache.hits";
+            Profile.load path
         | Some path ->
+            Registry.incr "profile_cache.misses";
+            Registry.add "profile_cache.stale"
+              (float_of_int (stale_siblings t ~llc_config bench_index));
             let p = compute_profile t ~llc_config bench_index in
             Profile.save p path;
             p
-        | None -> compute_profile t ~llc_config bench_index
+        | None ->
+            Registry.incr "profile_cache.misses";
+            compute_profile t ~llc_config bench_index
       in
       Hashtbl.add t.profiles key p;
       p
+
+type cache_report = {
+  cr_live : string list;
+  cr_stale : string list;
+  cr_foreign : string list;
+}
+
+let scan_cache t =
+  Option.map
+    (fun dir ->
+      (* Basenames every (benchmark, Table 2 config) pair maps to under the
+         current context settings. *)
+      let live_names = Hashtbl.create ~random:false 128 in
+      for cfg = 1 to Configs.llc_config_count do
+        for i = 0 to Suite.count - 1 do
+          match cache_path t ~llc_config:cfg i with
+          | Some p -> Hashtbl.replace live_names (Filename.basename p) ()
+          | None -> ()
+        done
+      done;
+      let recognized f =
+        Filename.check_suffix f ".prof"
+        && Array.exists
+             (fun name ->
+               let rec try_cfg cfg =
+                 cfg <= Configs.llc_config_count
+                 && (String.starts_with
+                       ~prefix:(Printf.sprintf "%s-cfg%d-" name cfg)
+                       f
+                    || try_cfg (cfg + 1))
+               in
+               try_cfg 1)
+             Suite.names
+      in
+      let files = Sys.readdir dir in
+      Array.sort compare files;
+      Array.fold_left
+        (fun report f ->
+          if Hashtbl.mem live_names f then
+            { report with cr_live = f :: report.cr_live }
+          else if recognized f then
+            { report with cr_stale = f :: report.cr_stale }
+          else { report with cr_foreign = f :: report.cr_foreign })
+        { cr_live = []; cr_stale = []; cr_foreign = [] }
+        files
+      |> fun r ->
+      {
+        cr_live = List.rev r.cr_live;
+        cr_stale = List.rev r.cr_stale;
+        cr_foreign = List.rev r.cr_foreign;
+      })
+    t.cache_dir
+
+let prune_cache t =
+  match (t.cache_dir, scan_cache t) with
+  | Some dir, Some report ->
+      List.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        report.cr_stale;
+      report.cr_stale
+  | _ -> []
 
 let all_profiles t ~llc_config =
   Array.init Suite.count (fun i -> profile t ~llc_config i)
@@ -169,11 +265,11 @@ let detailed ?llc_partition t ~llc_config mix =
 let mix_profiles t ~llc_config mix =
   Array.map (fun i -> profile t ~llc_config i) (Mix.indices mix)
 
-let predict t ~llc_config mix =
-  Model.predict_profiles (model_params t) (mix_profiles t ~llc_config mix)
+let predict ?obs t ~llc_config mix =
+  Model.predict_profiles ?obs (model_params t) (mix_profiles t ~llc_config mix)
 
-let predict_with t ~params ~llc_config mix =
-  Model.predict_profiles params (mix_profiles t ~llc_config mix)
+let predict_with ?obs t ~params ~llc_config mix =
+  Model.predict_profiles ?obs params (mix_profiles t ~llc_config mix)
 
 let predict_static t ~llc_config mix =
   Mppm_core.Static_model.predict

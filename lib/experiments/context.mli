@@ -45,7 +45,30 @@ val cache_path : t -> llc_config:int -> int -> string option
 val profile : t -> llc_config:int -> int -> Mppm_profile.Profile.t
 (** [profile t ~llc_config i] is the single-core profile of suite benchmark
     [i] on LLC configuration [llc_config] (Table 2), computed on first use
-    (or loaded from the cache directory) and memoized. *)
+    (or loaded from the cache directory) and memoized.  Counts every lookup
+    into {!Mppm_obs.Registry} under [profile_cache.*]: [memo_hits] (served
+    from memory), [hits] (loaded from disk), [misses] (computed), and
+    [stale] (cache-directory entries for the requested benchmark/config
+    whose fingerprint digest no longer matches). *)
+
+(** Classification of a profile-cache directory's contents. *)
+type cache_report = {
+  cr_live : string list;
+      (** basenames some (benchmark, Table 2 config) pair maps to under the
+          current context settings *)
+  cr_stale : string list;
+      (** recognized ["name-cfgN-*.prof"] entries whose fingerprint digest
+          matches no current benchmark/config pair *)
+  cr_foreign : string list;  (** everything else in the directory *)
+}
+
+val scan_cache : t -> cache_report option
+(** [scan_cache t] classifies every file of the cache directory ([None]
+    without one).  Basenames are sorted within each class. *)
+
+val prune_cache : t -> string list
+(** [prune_cache t] deletes the {!cache_report.cr_stale} entries (live and
+    foreign files are untouched) and returns the deleted basenames. *)
 
 val all_profiles : t -> llc_config:int -> Mppm_profile.Profile.t array
 (** Profiles of the whole suite, in suite order. *)
@@ -75,10 +98,17 @@ val detailed :
     slot. *)
 
 val predict :
-  t -> llc_config:int -> Mppm_workload.Mix.t -> Mppm_core.Model.result
-(** Runs MPPM on the mix from cached profiles. *)
+  ?obs:Mppm_obs.Trace.t ->
+  t ->
+  llc_config:int ->
+  Mppm_workload.Mix.t ->
+  Mppm_core.Model.result
+(** Runs MPPM on the mix from cached profiles.  [obs] (default
+    {!Mppm_obs.Trace.null}) receives the model's event stream; results are
+    bit-for-bit independent of it. *)
 
 val predict_with :
+  ?obs:Mppm_obs.Trace.t ->
   t ->
   params:Mppm_core.Model.params ->
   llc_config:int ->

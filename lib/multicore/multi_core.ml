@@ -143,6 +143,19 @@ let run ?compute_scales cfg ~programs ~trace_instructions =
   let wall_cycles =
     Array.fold_left (fun acc p -> Float.max acc p.cycles) 0.0 programs
   in
+  (* End-of-run aggregates only: a coarse boundary, never the hot path. *)
+  let module Registry = Mppm_obs.Registry in
+  Registry.incr "multicore.runs";
+  Registry.add "multicore.wall_cycles" wall_cycles;
+  Registry.add "multicore.shared_llc.accesses"
+    (float_of_int (Cache.accesses shared_llc));
+  Registry.add "multicore.shared_llc.misses"
+    (float_of_int (Cache.misses shared_llc));
+  Array.iter
+    (fun core ->
+      Registry.add_all ~prefix:"multicore"
+        (Hierarchy.counters (Core_engine.hierarchy core.engine)))
+    cores;
   {
     programs;
     wall_cycles;

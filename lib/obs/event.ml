@@ -1,0 +1,311 @@
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+
+type t = {
+  name : string;
+  time : float;
+  dur : float option;
+  fields : (string * value) list;
+}
+
+let reserved = [ "name"; "t"; "dur" ]
+
+let make ~name ~time ?dur fields =
+  if name = "" then invalid_arg "Event.make: empty name";
+  if not (Float.is_finite time) then invalid_arg "Event.make: non-finite time";
+  (match dur with
+  | Some d when not (Float.is_finite d && d >= 0.0) ->
+      invalid_arg "Event.make: malformed duration"
+  | Some _ | None -> ());
+  List.iter
+    (fun (k, _) ->
+      if List.mem k reserved then
+        invalid_arg "Event.make: field name shadows a reserved key")
+    fields;
+  { name; time; dur; fields }
+
+(* ---- JSON rendering --------------------------------------------------- *)
+
+(* Shortest float representation that round-trips: try %.15g first, fall
+   back to %.17g.  Deterministic (no locale, no platform dependence), so
+   traces are byte-stable across runs. *)
+let float_str x =
+  if not (Float.is_finite x) then invalid_arg "Event: non-finite field value";
+  let s = Printf.sprintf "%.15g" x in
+  let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+  (* Bare integers are valid JSON numbers, but keep a mark of floatness so
+     the parser round-trips the field kind. *)
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec value_to_json = function
+  | Int i -> string_of_int i
+  | Float x -> float_str x
+  | String s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | List vs ->
+      Printf.sprintf "[%s]" (String.concat "," (List.map value_to_json vs))
+
+let to_jsonl t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"t\":%s" (escape_string t.name)
+       (float_str t.time));
+  (match t.dur with
+  | Some d -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (float_str d))
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (escape_string k) (value_to_json v)))
+    t.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Chrome trace_event object: a complete ("X") event when the event has a
+   duration, an instant ("i") event otherwise.  Virtual time (cycles) maps
+   onto the ts/dur microsecond fields; all events share pid 0 / tid 0 so a
+   run renders as one timeline row per event name. *)
+let to_chrome t =
+  let args =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (escape_string k) (value_to_json v))
+         t.fields)
+  in
+  match t.dur with
+  | Some d ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":0,\"args\":{%s}}"
+        (escape_string t.name) (float_str t.time) (float_str d) args
+  | None ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"g\",\"pid\":0,\"tid\":0,\"args\":{%s}}"
+        (escape_string t.name) (float_str t.time) args
+
+(* ---- JSONL parsing ---------------------------------------------------- *)
+
+(* A minimal recursive-descent parser for the JSON subset to_jsonl emits:
+   one flat object per line whose values are integers, floats, strings or
+   (nested) arrays.  Total: malformed input yields [Error]. *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Bad (Printf.sprintf "expected %c, got %c" ch x))
+  | None -> raise (Bad (Printf.sprintf "expected %c, got end of input" ch))
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then raise (Bad "bad \\u escape");
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> raise (Bad "bad \\u escape")
+            in
+            (* Only control characters are emitted escaped; anything else
+               in the BMP is preserved byte-wise as UTF-8 by to_jsonl. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else raise (Bad "unsupported \\u escape");
+            go ()
+        | Some ch -> advance c; Buffer.add_char buf ch; go ()
+        | None -> raise (Bad "unterminated escape"))
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with Some ch when is_num_char ch -> advance c; go () | _ -> ()
+  in
+  go ();
+  if c.pos = start then raise (Bad "expected a number");
+  let text = String.sub c.src start (c.pos - start) in
+  let is_float =
+    String.contains text '.' || String.contains text 'e'
+    || String.contains text 'E'
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some x -> Float x
+    | None -> raise (Bad "malformed float")
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> raise (Bad "malformed integer")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; items (v :: acc)
+          | Some ']' -> advance c; List (List.rev (v :: acc))
+          | _ -> raise (Bad "expected , or ] in array")
+        in
+        items []
+  | Some _ -> parse_number c
+  | None -> raise (Bad "expected a value")
+
+let parse_object c =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    []
+  end
+  else
+    let rec members acc =
+      skip_ws c;
+      let key = parse_string c in
+      expect c ':';
+      let v = parse_value c in
+      skip_ws c;
+      match peek c with
+      | Some ',' -> advance c; members ((key, v) :: acc)
+      | Some '}' -> advance c; List.rev ((key, v) :: acc)
+      | _ -> raise (Bad "expected , or } in object")
+    in
+    members []
+
+let of_jsonl line =
+  match
+    let c = { src = line; pos = 0 } in
+    let members = parse_object c in
+    skip_ws c;
+    if c.pos <> String.length c.src then raise (Bad "trailing input");
+    Ok members
+  with
+  | exception Bad msg -> Error msg
+  | Error _ as e -> e
+  | Ok members -> (
+      let name = List.assoc_opt "name" members in
+      let time = List.assoc_opt "t" members in
+      let dur = List.assoc_opt "dur" members in
+      let fields =
+        List.filter (fun (k, _) -> not (List.mem k reserved)) members
+      in
+      match (name, time) with
+      | Some (String name), Some ((Float _ | Int _) as tv) ->
+          let as_float = function
+            | Float x -> x
+            | Int i -> float_of_int i
+            | _ -> raise (Bad "dur must be a number")
+          in
+          (try
+             Ok
+               {
+                 name;
+                 time = as_float tv;
+                 dur = Option.map as_float dur;
+                 fields;
+               }
+           with Bad msg -> Error msg)
+      | _ -> Error "missing name/t keys")
+
+let field t key = List.assoc_opt key t.fields
+
+let float_field t key =
+  match field t key with
+  | Some (Float x) -> Some x
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_field t key =
+  match field t key with Some (Int i) -> Some i | _ -> None
+
+let float_list_field t key =
+  match field t key with
+  | Some (List vs) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Float x :: rest -> go (x :: acc) rest
+        | Int i :: rest -> go (float_of_int i :: acc) rest
+        | _ -> None
+      in
+      go [] vs
+  | _ -> None
+
+let string_list_field t key =
+  match field t key with
+  | Some (List vs) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | String s :: rest -> go (s :: acc) rest
+        | _ -> None
+      in
+      go [] vs
+  | _ -> None

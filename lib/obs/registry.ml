@@ -1,0 +1,19 @@
+let counters = Counter.create ()
+
+let add name by = Counter.add counters name by
+let incr name = Counter.incr counters name
+
+let add_all ~prefix pairs =
+  List.iter (fun (name, v) -> add (prefix ^ "." ^ name) v) pairs
+
+let get name = Counter.value counters name
+let snapshot () = Counter.to_alist counters
+
+let snapshot_prefix prefix =
+  let p = prefix ^ "." in
+  let n = String.length p in
+  List.filter
+    (fun (name, _) -> String.length name >= n && String.sub name 0 n = p)
+    (snapshot ())
+
+let reset () = Counter.reset counters

@@ -126,7 +126,17 @@ let reduce_associativity t ~assoc =
 
 (* ---- text serialization ------------------------------------------- *)
 
-let format_version = "mppm-profile v1"
+(* v2: floats are written shortest-round-trip (v1 truncated to %.6f/%.1f,
+   so a cache hit was not bit-identical to a recompute — SDC counters are
+   fractional).  The version string feeds the profile-cache fingerprint,
+   so v1 entries read as stale rather than as lossy profiles. *)
+let format_version = "mppm-profile v2"
+
+(* Shortest decimal representation that parses back to the same bits:
+   %.15g when that round-trips, %.17g otherwise (always exact). *)
+let float_str x =
+  let s = Printf.sprintf "%.15g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
 let save t path =
   let oc = open_out path in
@@ -140,9 +150,13 @@ let save t path =
       Printf.fprintf oc "intervals %d\n" (Array.length t.intervals);
       Array.iter
         (fun iv ->
-          Printf.fprintf oc "%d %.6f %.6f %.1f %.1f" iv.instructions iv.cycles
-            iv.memory_stall_cycles iv.llc_accesses iv.llc_misses;
-          List.iter (Printf.fprintf oc " %.1f") (Sdc.to_list iv.sdc);
+          Printf.fprintf oc "%d %s %s %s %s" iv.instructions
+            (float_str iv.cycles)
+            (float_str iv.memory_stall_cycles)
+            (float_str iv.llc_accesses) (float_str iv.llc_misses);
+          List.iter
+            (fun c -> Printf.fprintf oc " %s" (float_str c))
+            (Sdc.to_list iv.sdc);
           Printf.fprintf oc "\n")
         t.intervals)
 

@@ -84,12 +84,20 @@ val reduce_associativity : t -> assoc:int -> t
     they describe the profiled hierarchy and remain the model's base-line
     CPI.  Miss counts are re-derived from the folded SDC. *)
 
+val format_version : string
+(** The on-disk format identifier written by {!save} and required by
+    {!load}.  Include it in any persistent cache key so a format change
+    invalidates old entries instead of loading them. *)
+
 val save : t -> string -> unit
-(** [save t path] writes the profile as a line-oriented text file. *)
+(** [save t path] writes the profile as a line-oriented text file.
+    Floats are rendered shortest-round-trip, so [load (save t)] is
+    bit-for-bit identical to [t]. *)
 
 val load : string -> t
 (** [load path] reads a profile written by {!save}.  Raises [Failure] with
-    a line diagnostic on malformed input. *)
+    a line diagnostic on malformed input or an unsupported format
+    version. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line whole-trace summary: CPI, memory CPI, MPKI, intervals. *)

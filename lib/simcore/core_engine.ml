@@ -130,6 +130,7 @@ let step t ~cap =
   op.Op.instructions
 
 let retired t = Generator.retired t.generator
+let hierarchy t = t.hierarchy
 let cycles t = t.cycles
 let memory_stall_cycles t = t.memory_stall_cycles
 let llc_accesses t = t.llc_accesses

@@ -46,6 +46,10 @@ val step : t -> cap:int -> int
 val retired : t -> int
 (** Total instructions retired. *)
 
+val hierarchy : t -> Mppm_cache.Hierarchy.t
+(** The hierarchy this core drives, e.g. for
+    {!Mppm_cache.Hierarchy.counters} observability snapshots. *)
+
 val cycles : t -> float
 (** Total cycles consumed. *)
 

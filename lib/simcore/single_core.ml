@@ -2,6 +2,17 @@ module Hierarchy = Mppm_cache.Hierarchy
 module Sdc_profiler = Mppm_cache.Sdc_profiler
 module Generator = Mppm_trace.Generator
 module Profile = Mppm_profile.Profile
+module Registry = Mppm_obs.Registry
+
+(* End-of-run aggregate counters.  Pushed once per run/profile (a coarse
+   boundary), never from the per-access hot path; reading the registry
+   cannot perturb results because nothing here feeds back into timing. *)
+let push_run_counters engine =
+  Registry.add "simcore.instructions"
+    (float_of_int (Core_engine.retired engine));
+  Registry.add "simcore.cycles" (Core_engine.cycles engine);
+  Registry.add_all ~prefix:"simcore"
+    (Hierarchy.counters (Core_engine.hierarchy engine))
 
 type run_config = {
   hierarchy : Hierarchy.config;
@@ -45,6 +56,8 @@ let run ?offset ?compute_scale cfg ~benchmark ~seed ~instructions =
   done;
   let cycles = Core_engine.cycles engine in
   let stall = Core_engine.memory_stall_cycles engine in
+  Registry.incr "simcore.runs";
+  push_run_counters engine;
   {
     instructions;
     cycles;
@@ -89,6 +102,21 @@ let profile ?offset ?compute_scale cfg ~benchmark ~seed ~trace_instructions
           sdc = Sdc_profiler.cut_interval sdc_profiler;
         })
   in
+  Registry.incr "simcore.profiles";
+  push_run_counters engine;
+  (* Lifetime stack-distance summary of the profiled LLC stream. *)
+  let total = Sdc_profiler.lifetime_total sdc_profiler in
+  Registry.add "cache.sdc.mass" (Mppm_cache.Sdc.accesses total);
+  Registry.add "cache.sdc.hits" (Mppm_cache.Sdc.hits total);
+  Registry.add "cache.sdc.misses" (Mppm_cache.Sdc.misses total);
+  (let hits = Mppm_cache.Sdc.hits total in
+   if hits > 0.0 then begin
+     let weighted = ref 0.0 in
+     for d = 1 to Mppm_cache.Sdc.assoc total do
+       weighted := !weighted +. (float_of_int d *. Mppm_cache.Sdc.counter total d)
+     done;
+     Registry.add "cache.sdc.hit_depth_mass" !weighted
+   end);
   Profile.make ~benchmark:benchmark.Mppm_trace.Benchmark.name
     ~interval_instructions
     ~llc_assoc:cfg.hierarchy.Hierarchy.llc.geometry.Mppm_cache.Geometry.associativity

@@ -123,6 +123,34 @@ let test_e1_error_prefixes () =
   Alcotest.(check bool) "outside lib ignored" false
     (has_rule "E1" ~rel:"bin/foo.ml" "let f () = failwith \"bad input\"\n")
 
+let test_o1_console_output () =
+  Alcotest.(check bool) "print_endline in lib flagged" true
+    (has_rule "O1" ~rel:"lib/core/foo.ml" "let f () = print_endline \"x\"\n");
+  Alcotest.(check bool) "prerr_string in lib flagged" true
+    (has_rule "O1" ~rel:"lib/core/foo.ml" "let f () = prerr_string \"x\"\n");
+  Alcotest.(check bool) "Printf.printf in lib flagged" true
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "let f n = Printf.printf \"%d\" n\n");
+  Alcotest.(check bool) "Format.eprintf in lib flagged" true
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "let f n = Format.eprintf \"%d\" n\n");
+  Alcotest.(check bool) "Format.std_formatter in lib flagged" true
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "let f () = Format.fprintf Format.std_formatter \"x\"\n");
+  Alcotest.(check bool) "Printf.sprintf not flagged" false
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "let f n = Printf.sprintf \"%d\" n\n");
+  Alcotest.(check bool) "caller-supplied formatter not flagged" false
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "let pp ppf n = Format.fprintf ppf \"%d\" n\n");
+  Alcotest.(check bool) "projection not confused with bare printer" false
+    (has_rule "O1" ~rel:"lib/core/foo.ml" "let f x = X.print_endline x\n");
+  Alcotest.(check bool) "outside lib ignored" false
+    (has_rule "O1" ~rel:"bin/foo.ml" "let f () = print_endline \"x\"\n");
+  Alcotest.(check bool) "suppression works" false
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "(* lint: allow O1 *)\nlet f () = print_endline \"x\"\n")
+
 let test_dune_unix_in_lib () =
   let findings =
     Engine.lint_dune ~rel:"lib/core/dune"
@@ -313,6 +341,7 @@ let tests =
         Alcotest.test_case "F1 float equality" `Quick test_f1_float_equality;
         Alcotest.test_case "M1 mli docs" `Quick test_m1_mli_docs;
         Alcotest.test_case "E1 error prefixes" `Quick test_e1_error_prefixes;
+        Alcotest.test_case "O1 console output" `Quick test_o1_console_output;
         Alcotest.test_case "dune unix in lib" `Quick test_dune_unix_in_lib;
         Alcotest.test_case "diagnostic rendering" `Quick test_diag_render;
       ] );

@@ -1,0 +1,272 @@
+(* Tests for the Mppm_obs observability layer: event serialization and
+   round-trips, counter/histogram merge algebra, the model core's event
+   stream (deterministic and matching the checked-in golden trace), the
+   registry aggregates the simulators push, and the hard guarantee that
+   attaching a trace never changes results bit-for-bit. *)
+
+module Event = Mppm_obs.Event
+module Sink = Mppm_obs.Sink
+module Trace = Mppm_obs.Trace
+module Counter = Mppm_obs.Counter
+module Histogram = Mppm_obs.Histogram
+module Registry = Mppm_obs.Registry
+module Model = Mppm_core.Model
+module Mix = Mppm_workload.Mix
+open Mppm_experiments
+
+let canonical_mix = Mix.of_names [| "gamess"; "gamess"; "hmmer"; "soplex" |]
+let tiny_scale = Scale.of_trace 100_000
+
+(* Predict the canonical mix with a collecting sink attached; returns the
+   model result and the captured trace as JSONL lines. *)
+let traced_run () =
+  let ctx = Context.create ~seed:7 tiny_scale in
+  let sink, events = Sink.memory () in
+  let obs = Trace.of_sink sink in
+  let result = Context.predict ~obs ctx ~llc_config:1 canonical_mix in
+  Trace.close obs;
+  (result, events ())
+
+let jsonl_lines events = List.map Event.to_jsonl events
+
+(* ---- events -------------------------------------------------------------- *)
+
+let test_event_validation () =
+  Alcotest.check_raises "reserved field rejected"
+    (Invalid_argument "Event.make: field name shadows a reserved key")
+    (fun () -> ignore (Event.make ~name:"x" ~time:0.0 [ ("t", Event.Int 1) ]));
+  Alcotest.check_raises "empty name rejected"
+    (Invalid_argument "Event.make: empty name") (fun () ->
+      ignore (Event.make ~name:"" ~time:0.0 []));
+  (match Event.of_jsonl "{broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed JSONL must not parse");
+  let ev =
+    Event.make ~name:"e" ~time:1.5 ~dur:2.0
+      [
+        ("i", Event.Int 42);
+        ("f", Event.Float 0.1);
+        ("s", Event.String "a \"b\"\n\t\\");
+        ("l", Event.List [ Event.Float 1.0; Event.Float 2.5 ]);
+      ]
+  in
+  match Event.of_jsonl (Event.to_jsonl ev) with
+  | Error msg -> Alcotest.fail ("round-trip parse failed: " ^ msg)
+  | Ok ev' ->
+      Alcotest.(check string) "serialization is a fixpoint"
+        (Event.to_jsonl ev) (Event.to_jsonl ev')
+
+(* ---- the model's event stream ------------------------------------------- *)
+
+let test_trace_schema () =
+  let result, events = traced_run () in
+  let named n = List.filter (fun e -> e.Event.name = n) events in
+  Alcotest.(check int) "one start event" 1 (List.length (named "model.start"));
+  Alcotest.(check int) "one result event" 1 (List.length (named "model.result"));
+  Alcotest.(check int) "one quantum event per iteration"
+    result.Model.iterations
+    (List.length (named "model.quantum"));
+  Alcotest.(check int) "one convergence record per iteration"
+    result.Model.iterations
+    (List.length (named "model.convergence"));
+  (match named "model.start" with
+  | [ start ] ->
+      Alcotest.(check (option (list string))) "programs match the mix"
+        (Some (Array.to_list (Mix.names canonical_mix)))
+        (Event.string_list_field start "programs")
+  | _ -> Alcotest.fail "expected exactly one model.start");
+  List.iter
+    (fun q ->
+      (match q.Event.dur with
+      | Some d when d > 0.0 -> ()
+      | _ -> Alcotest.fail "quantum must be a positive-duration span");
+      match Event.float_list_field q "r_after" with
+      | Some rs ->
+          Alcotest.(check int) "one R_p per program" 4 (List.length rs);
+          List.iter
+            (fun r ->
+              if r < 1.0 then Alcotest.fail "slowdowns must stay >= 1")
+            rs
+      | None -> Alcotest.fail "quantum carries r_after")
+    (named "model.quantum")
+
+let test_trace_deterministic () =
+  let _, a = traced_run () in
+  let _, b = traced_run () in
+  Alcotest.(check (list string)) "two runs, byte-identical JSONL"
+    (jsonl_lines a) (jsonl_lines b)
+
+(* The golden trace is checked into the repository (and diffed again by
+   CI through the CLI): any change to the event schema or to the model's
+   numerical behaviour shows up as a diff here and must be intentional. *)
+let golden_file = "golden_canonical_trace.jsonl"
+
+let test_trace_matches_golden () =
+  if not (Sys.file_exists golden_file) then
+    Alcotest.fail ("missing golden trace " ^ golden_file);
+  let ic = open_in_bin golden_file in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let _, events = traced_run () in
+  let ours =
+    String.concat "" (List.map (fun l -> l ^ "\n") (jsonl_lines events))
+  in
+  Alcotest.(check string) "trace matches the checked-in golden" golden ours
+
+(* The hard constraint: attaching a sink must not change any result bit. *)
+let test_traced_equals_untraced () =
+  let untraced =
+    let ctx = Context.create ~seed:7 tiny_scale in
+    Context.predict ctx ~llc_config:1 canonical_mix
+  in
+  let traced, _ = traced_run () in
+  let bits = Int64.bits_of_float in
+  Alcotest.(check int64) "STP bit-for-bit" (bits untraced.Model.stp)
+    (bits traced.Model.stp);
+  Alcotest.(check int64) "ANTT bit-for-bit" (bits untraced.Model.antt)
+    (bits traced.Model.antt);
+  Alcotest.(check int) "same iteration count" untraced.Model.iterations
+    traced.Model.iterations;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "slowdown %d bit-for-bit" i)
+        (bits p.Model.slowdown)
+        (bits traced.Model.programs.(i).Model.slowdown))
+    untraced.Model.programs
+
+(* ---- registry aggregates ------------------------------------------------- *)
+
+let test_registry_aggregates () =
+  Registry.reset ();
+  let ctx = Context.create ~seed:7 tiny_scale in
+  ignore (Context.predict ctx ~llc_config:1 canonical_mix);
+  Alcotest.(check bool) "profile computations counted" true
+    (Registry.get "profile_cache.misses" >= 3.0);
+  Alcotest.(check bool) "memoized lookups counted" true
+    (Registry.get "profile_cache.memo_hits" >= 1.0);
+  Alcotest.(check bool) "profiling runs counted" true
+    (Registry.get "simcore.profiles" >= 3.0);
+  Alcotest.(check bool) "simcore hierarchy counters pushed" true
+    (Registry.get "simcore.l1d.accesses" > 0.0);
+  Alcotest.(check bool) "SDC summary pushed" true
+    (Registry.get "cache.sdc.mass" > 0.0);
+  ignore (Context.detailed ctx ~llc_config:1 canonical_mix);
+  Alcotest.(check bool) "multicore run counted" true
+    (Registry.get "multicore.runs" >= 1.0);
+  Alcotest.(check bool) "shared LLC aggregates pushed" true
+    (Registry.get "multicore.shared_llc.accesses" > 0.0);
+  let snapshot = Registry.snapshot_prefix "profile_cache" in
+  Alcotest.(check bool) "snapshot_prefix selects the namespace" true
+    (List.for_all
+       (fun (name, _) -> String.length name > 14)
+       snapshot
+    && snapshot <> []);
+  Registry.reset ()
+
+(* ---- counter / histogram algebra ----------------------------------------- *)
+
+(* Integer-valued counters keep float addition exact, so merge order must
+   not matter at all. *)
+let counter_gen =
+  QCheck.(
+    small_list (pair (oneofl [ "a"; "b"; "c"; "d" ]) (int_range 0 1000)))
+
+let counter_of_spec spec =
+  Counter.of_alist (List.map (fun (k, v) -> (k, float_of_int v)) spec)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"counter merge commutes" ~count:300
+      QCheck.(pair counter_gen counter_gen)
+      (fun (sa, sb) ->
+        let a = counter_of_spec sa and b = counter_of_spec sb in
+        Counter.to_alist (Counter.merge a b)
+        = Counter.to_alist (Counter.merge b a));
+    QCheck.Test.make ~name:"counter merge associates" ~count:300
+      QCheck.(triple counter_gen counter_gen counter_gen)
+      (fun (sa, sb, sc) ->
+        let a = counter_of_spec sa
+        and b = counter_of_spec sb
+        and c = counter_of_spec sc in
+        Counter.to_alist (Counter.merge (Counter.merge a b) c)
+        = Counter.to_alist (Counter.merge a (Counter.merge b c)));
+    QCheck.Test.make ~name:"counter merge leaves inputs intact" ~count:300
+      QCheck.(pair counter_gen counter_gen)
+      (fun (sa, sb) ->
+        let a = counter_of_spec sa and b = counter_of_spec sb in
+        let before = Counter.to_alist a in
+        ignore (Counter.merge a b);
+        Counter.to_alist a = before);
+    QCheck.Test.make ~name:"histogram merge commutes and associates"
+      ~count:300
+      QCheck.(
+        triple (small_list (int_range 0 100)) (small_list (int_range 0 100))
+          (small_list (int_range 0 100)))
+      (fun (xs, ys, zs) ->
+        let bounds = [| 10.0; 25.0; 50.0; 75.0 |] in
+        let hist samples =
+          let h = Histogram.create ~bounds in
+          List.iter (fun x -> Histogram.observe h (float_of_int x)) samples;
+          h
+        in
+        let a = hist xs and b = hist ys and c = hist zs in
+        let counts h = Histogram.bucket_counts h in
+        counts (Histogram.merge a b) = counts (Histogram.merge b a)
+        && counts (Histogram.merge (Histogram.merge a b) c)
+           = counts (Histogram.merge a (Histogram.merge b c)));
+    QCheck.Test.make ~name:"JSONL floats round-trip exactly" ~count:500
+      QCheck.(float)
+      (fun f ->
+        QCheck.assume (Float.is_finite f);
+        let ev = Event.make ~name:"x" ~time:0.0 [ ("v", Event.Float f) ] in
+        match Event.of_jsonl (Event.to_jsonl ev) with
+        | Ok ev' -> (
+            match Event.float_field ev' "v" with
+            | Some f' ->
+                Int64.bits_of_float f = Int64.bits_of_float f'
+                (* -0.0 and 0.0 share a JSON rendering; either bit
+                   pattern is a faithful read-back. *)
+                || (f = 0.0 && f' = 0.0)
+            | None -> false)
+        | Error _ -> false);
+  ]
+
+let test_histogram_basics () =
+  let h = Histogram.create_exponential ~first:1.0 ~ratio:2.0 ~buckets:4 in
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  Alcotest.(check (float 0.0)) "count" 4.0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "sum" 105.0 (Histogram.sum h);
+  Alcotest.(check (option (float 0.0))) "min" (Some 0.5)
+    (Histogram.min_value h);
+  Alcotest.(check (option (float 0.0))) "max" (Some 100.0)
+    (Histogram.max_value h);
+  Alcotest.(check int) "bucket count" 5
+    (Array.length (Histogram.bucket_counts h))
+
+let tests =
+  [
+    ( "obs.event",
+      [
+        Alcotest.test_case "validation and round-trip" `Quick
+          test_event_validation;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "model event schema" `Quick test_trace_schema;
+        Alcotest.test_case "deterministic across runs" `Quick
+          test_trace_deterministic;
+        Alcotest.test_case "matches checked-in golden" `Quick
+          test_trace_matches_golden;
+        Alcotest.test_case "traced run bit-identical to untraced" `Quick
+          test_traced_equals_untraced;
+      ] );
+    ( "obs.registry",
+      [
+        Alcotest.test_case "end-to-end aggregates" `Slow
+          test_registry_aggregates;
+      ] );
+    ( "obs.metrics",
+      Alcotest.test_case "histogram basics" `Quick test_histogram_basics
+      :: List.map QCheck_alcotest.to_alcotest qcheck_tests );
+  ]

@@ -123,7 +123,27 @@ let test_reduce_associativity () =
      with Invalid_argument _ -> true)
 
 let test_save_load_roundtrip () =
-  let p = sample_profile () in
+  (* Deliberately fractional values: window scaling and associativity
+     folding make real SDC counters and miss counts non-integer, and
+     those must survive the disk round-trip exactly. *)
+  let fractional_interval i =
+    let k = float_of_int (i + 1) in
+    {
+      Profile.instructions = 1_000;
+      cycles = 110133.011905 *. k /. 3.0;
+      memory_stall_cycles = 103919.047619 *. k /. 7.0;
+      llc_accesses = 645.2861652717584 *. k;
+      llc_misses = 0.07 *. k;
+      sdc =
+        Sdc.of_list ~assoc
+          [ 20.25 *. k; k /. 3.0; 0.1 *. k; 1e-3 *. k; 0.07 *. k ];
+    }
+  in
+  let p =
+    Profile.make ~benchmark:"synthetic" ~interval_instructions:1_000
+      ~llc_assoc:assoc
+      (Array.init 5 fractional_interval)
+  in
   let path = Filename.temp_file "mppm-test" ".prof" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -136,14 +156,20 @@ let test_save_load_roundtrip () =
       Alcotest.(check int) "assoc" p.Profile.llc_assoc q.Profile.llc_assoc;
       Alcotest.(check int) "intervals" (Array.length p.Profile.intervals)
         (Array.length q.Profile.intervals);
+      (* Round-trip must be exact: a cache hit and a recompute have to be
+         bit-for-bit interchangeable (traces are golden-tested on it). *)
+      let bits = Int64.bits_of_float in
       Array.iteri
         (fun i iv ->
           let jv = q.Profile.intervals.(i) in
-          check_close 1e-6 "cycles" iv.Profile.cycles jv.Profile.cycles;
-          check_close 1e-6 "stall" iv.Profile.memory_stall_cycles
-            jv.Profile.memory_stall_cycles;
-          Alcotest.(check (list (float 1e-6))) "sdc" (Sdc.to_list iv.Profile.sdc)
-            (Sdc.to_list jv.Profile.sdc))
+          Alcotest.(check int64) "cycles" (bits iv.Profile.cycles)
+            (bits jv.Profile.cycles);
+          Alcotest.(check int64) "stall"
+            (bits iv.Profile.memory_stall_cycles)
+            (bits jv.Profile.memory_stall_cycles);
+          Alcotest.(check (list int64)) "sdc"
+            (List.map bits (Sdc.to_list iv.Profile.sdc))
+            (List.map bits (Sdc.to_list jv.Profile.sdc)))
         p.Profile.intervals)
 
 let test_load_rejects_garbage () =

@@ -5,7 +5,7 @@ type ctx = {
   module_name : string;
 }
 
-let all_rule_ids = [ "D1"; "D2"; "F1"; "M1"; "E1" ]
+let all_rule_ids = [ "D1"; "D2"; "F1"; "M1"; "E1"; "O1" ]
 
 let context_of_rel rel =
   let base = Filename.basename rel in
@@ -305,6 +305,57 @@ let check_error_prefixes ctx lx acc =
       tokens;
     !out
 
+(* ---- O1: console output in lib/ ---------------------------------------- *)
+
+(* Bare stdlib channel printers.  [Format.pp_print_string ppf ...] is fine
+   (the caller chose the formatter); writing straight to stdout/stderr from
+   the model path is not. *)
+let console_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes";
+  ]
+
+let console_message what =
+  Printf.sprintf
+    "console output (%s) in lib/: return data, render via a caller-supplied \
+     formatter, or emit through an Mppm_obs sink"
+    what
+
+let check_console_output ctx lx acc =
+  if not ctx.in_lib then acc
+  else
+    let tokens = lx.tokens in
+    let out = ref acc in
+    Array.iteri
+      (fun i { tok; line } ->
+        match tok with
+        | Ident id
+          when List.mem id console_idents
+               && tok_at tokens (i - 1) <> Some (Op ".") ->
+            out :=
+              diag ctx ~line ~rule:"O1" ~severity:Diag.Error
+                (console_message id)
+              :: !out
+        | _ -> (
+            match qualified tokens i with
+            | Some ((("Printf" | "Format") as u), (("printf" | "eprintf") as m))
+              ->
+                out :=
+                  diag ctx ~line ~rule:"O1" ~severity:Diag.Error
+                    (console_message (u ^ "." ^ m))
+                  :: !out
+            | Some ("Format", (("std_formatter" | "err_formatter") as m)) ->
+                out :=
+                  diag ctx ~line ~rule:"O1" ~severity:Diag.Error
+                    (console_message ("Format." ^ m))
+                  :: !out
+            | _ -> ()))
+      tokens;
+    !out
+
 (* ---- dune files -------------------------------------------------------- *)
 
 let check_dune ~rel content =
@@ -360,4 +411,5 @@ let check_tokens ctx lx =
   let acc = if ctx.is_mli then acc else check_float_equality ctx lx acc in
   let acc = check_mli_docs ctx lx acc in
   let acc = if ctx.is_mli then acc else check_error_prefixes ctx lx acc in
+  let acc = if ctx.is_mli then acc else check_console_output ctx lx acc in
   List.sort Diag.compare acc

@@ -19,7 +19,13 @@
       ([type]/[exception] items get warnings).
     - [E1] — [failwith]/[invalid_arg] in [lib/] code with a literal message
       must prefix the message with the module name ("Model.predict: ..." or
-      "Metrics: ..."). *)
+      "Metrics: ...").
+    - [O1] — no console output from [lib/]: bare channel printers
+      ([print_string], [prerr_endline], ...), [Printf.printf]/[eprintf],
+      [Format.printf]/[eprintf], and [Format.std_formatter]/
+      [err_formatter] are banned.  Library code returns data, renders
+      through a caller-supplied formatter, or emits through an
+      [Mppm_obs] sink. *)
 
 type ctx = {
   rel : string;  (** root-relative path, '/'-separated *)
