@@ -1,3 +1,4 @@
+(* lint: allow-file O1 example programs print their results to stdout by design *)
 (* Design-space exploration: rank the six Table 2 LLC configurations by
    mean STP over a large MPPM-predicted workload population — the study
    that is infeasible with detailed simulation (Sec. 5) — and report

@@ -1,3 +1,4 @@
+(* lint: allow-file O1 example programs print their results to stdout by design *)
 (* Heterogeneous multi-core exploration — one of the paper's Sec. 8 future
    directions.  A "little" core is modelled by dilating the non-memory part
    of a program's profiled CPI (memory stall cycles are hierarchy-bound and

@@ -1,3 +1,4 @@
+(* lint: allow-file O1 example programs print their results to stdout by design *)
 (* Quickstart: profile four benchmarks, predict a quad-core mix with MPPM,
    and check the prediction against detailed simulation.
 

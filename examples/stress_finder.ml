@@ -1,3 +1,4 @@
+(* lint: allow-file O1 example programs print their results to stdout by design *)
 (* Stress-workload identification (Sec. 6): sweep a large population of
    mixes with MPPM, surface the worst-STP workloads, then confirm the top
    few with detailed simulation.

@@ -55,8 +55,6 @@ let create ?(policy = Replacement.Lru) ?partition geometry =
   }
 
 let geometry t = t.geometry
-let policy t = t.policy
-let partition t = Option.map Array.copy t.partition
 
 let find_in_set set fill tag =
   let rec scan i =

@@ -29,12 +29,6 @@ val create : ?policy:Replacement.t -> ?partition:int array -> Geometry.t -> t
 val geometry : t -> Geometry.t
 (** The geometry this cache was created with. *)
 
-val policy : t -> Replacement.t
-(** The replacement policy this cache was created with. *)
-
-val partition : t -> int array option
-(** The way quotas this cache was created with, if any. *)
-
 val access : t -> int -> outcome
 (** [access t addr] looks up the line containing byte address [addr],
     updates replacement state, fills the line on a miss, and updates the
@@ -79,5 +73,6 @@ val counters : t -> (string * float) list
     ([accesses]/[hits]/[misses]), ready for
     [Mppm_obs.Registry.add_all]. *)
 
+(* lint: allow S4 debugging printer kept as API surface *)
 val pp_stats : Format.formatter -> t -> unit
 (** One-line rendering of the statistics counters. *)

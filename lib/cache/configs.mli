@@ -1,3 +1,4 @@
+(* lint: allow-file S4 Table 1 constants are documented paper surface even where baseline () is the only consumer *)
 (** The paper's cache configurations (Tables 1 and 2).
 
     Table 1 fixes the private levels: 32KB 4-way L1I, 32KB 8-way L1D (both

@@ -90,13 +90,6 @@ let access t ~kind ~addr =
 let llc_accesses t = t.llc_accesses
 let llc_misses t = t.llc_misses
 
-let reset_stats t =
-  t.llc_accesses <- 0;
-  t.llc_misses <- 0;
-  Cache.reset_stats t.l1i_cache;
-  Cache.reset_stats t.l1d_cache;
-  Cache.reset_stats t.l2_cache
-
 let counters t =
   let level name cache =
     List.map (fun (k, v) -> (name ^ "." ^ k, v)) (Cache.counters cache)

@@ -61,9 +61,6 @@ val llc_accesses : t -> int
 val llc_misses : t -> int
 (** LLC misses suffered by this core's hierarchy (0 under [perfect_llc]). *)
 
-val reset_stats : t -> unit
-(** Clears this core's LLC access/miss counters (cache contents kept). *)
-
 val counters : t -> (string * float) list
 (** Per-level aggregate counters as observability pairs:
     [l1i.*]/[l1d.*]/[l2.*] from the private caches' statistics, plus this

@@ -12,7 +12,6 @@ let create geometry =
     total = Sdc.create ~assoc;
   }
 
-let geometry t = Cache.geometry t.cache
 
 let record_outcome t outcome =
   let depth =

@@ -12,9 +12,6 @@ val create : Geometry.t -> t
 (** [create geometry] profiles a cache of the given geometry (always LRU:
     stack distances are defined against the LRU stack). *)
 
-val geometry : t -> Geometry.t
-(** The geometry of the profiled cache. *)
-
 val access : t -> int -> Cache.outcome
 (** [access t addr] simulates the access, records its depth in the current
     interval, and reports the outcome. *)

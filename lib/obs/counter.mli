@@ -1,3 +1,4 @@
+(* lint: allow-file S4 counter combinators are obs API surface; external use is optional by design *)
 (** A named counter set: the basic metric container of {!Mppm_obs}.
 
     Counters are float-valued so large event counts and fractional masses

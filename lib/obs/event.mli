@@ -46,9 +46,6 @@ val to_chrome : t -> string
     when [dur] is present, "i" instant otherwise; fields become [args]).
     Callers wrap the objects in a JSON array to form a loadable trace. *)
 
-val field : t -> string -> value option
-(** Look up a payload field by name. *)
-
 val float_field : t -> string -> float option
 (** Numeric field as a float ([Int] coerces); [None] when absent or not a
     number. *)

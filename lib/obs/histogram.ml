@@ -57,7 +57,6 @@ let sum t = t.sum
 let mean t = if t.total > 0.0 then t.sum /. t.total else 0.0
 let min_value t = if t.total > 0.0 then Some t.lo else None
 let max_value t = if t.total > 0.0 then Some t.hi else None
-let bounds t = Array.copy t.bounds
 let bucket_counts t = Array.copy t.counts
 
 let same_bounds a b =

@@ -1,3 +1,4 @@
+(* lint: allow-file S4 statistical readouts are obs API surface; external use is optional by design *)
 (** Fixed-bound histograms for telemetry (latency/budget/size
     distributions).
 
@@ -36,9 +37,6 @@ val min_value : t -> float option
 
 val max_value : t -> float option
 (** Largest sample, [None] when empty. *)
-
-val bounds : t -> float array
-(** The bucket bounds this histogram was created with. *)
 
 val bucket_counts : t -> float array
 (** Per-bucket sample counts, length [Array.length (bounds t) + 1]. *)

@@ -21,9 +21,6 @@ val add_all : prefix:string -> (string * float) list -> unit
 val get : string -> float
 (** Current value; 0 when never touched. *)
 
-val snapshot : unit -> (string * float) list
-(** All counters sorted by name. *)
-
 val snapshot_prefix : string -> (string * float) list
 (** Counters whose name starts with ["prefix."], sorted. *)
 

@@ -24,5 +24,6 @@ val memory : unit -> t * (unit -> Event.t list)
     [events ()] returns them in emission order.  Used by tests and by the
     CLI to buffer a trace before writing it in the requested format. *)
 
+(* lint: allow S4 sink combinator documented in docs/observability.md *)
 val tee : t -> t -> t
 (** Duplicate every event (and close) to both sinks. *)

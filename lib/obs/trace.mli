@@ -1,3 +1,4 @@
+(* lint: allow-file S4 emit helpers are the documented obs API even when sinks are attached elsewhere *)
 (** The trace handle threaded through the model core.
 
     [Trace.null] is the default everywhere: with it, every emission point

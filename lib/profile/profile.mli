@@ -74,6 +74,7 @@ val window : t -> start:float -> count:float -> window
 val window_cpi : window -> float
 (** [w_cycles / w_instructions]. *)
 
+(* lint: allow S4 per-window readout kept for the two-run validation workflow *)
 val window_memory_cpi : window -> float
 (** [w_memory_stall_cycles / w_instructions]. *)
 

@@ -17,7 +17,6 @@ let create ~transfer_cycles =
     busy_cycles = 0.0;
   }
 
-let transfer_cycles t = t.transfer_cycles
 
 let request t ~now =
   let start = Float.max now t.free_at in

@@ -17,9 +17,6 @@ val create : transfer_cycles:float -> t
     occupancy per line transfer (e.g. 64B at 4 bytes/cycle = 16 cycles).
     Must be positive. *)
 
-val transfer_cycles : t -> float
-(** The occupancy per line transfer this channel was created with. *)
-
 val request : t -> now:float -> float
 (** [request t ~now] enqueues a line transfer issued at time [now] (cycles)
     and returns the queueing delay the requester suffers before its

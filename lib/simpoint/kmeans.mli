@@ -25,5 +25,3 @@ val cluster :
 val squared_distance : float array -> float array -> float
 (** Squared Euclidean distance between two equal-dimension points. *)
 
-val closest : float array array -> float array -> int
-(** Index of the nearest centroid. *)

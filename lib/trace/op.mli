@@ -28,5 +28,6 @@ val memory : gap:int -> addr:int -> kind:access_kind -> t
 (** [memory ~gap ~addr ~kind] is [gap] compute instructions followed by one
     memory instruction. *)
 
+(* lint: allow S4 debugging printer kept as API surface *)
 val pp : Format.formatter -> t -> unit
 (** Compact one-line rendering of the block. *)

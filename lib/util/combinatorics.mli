@@ -10,6 +10,7 @@ val binomial : int -> int -> float
     values representable in 53 bits).  Returns [0.] when [k < 0] or
     [k > n]. *)
 
+(* lint: allow S4 exact integer variant kept alongside the float binomial *)
 val binomial_int : int -> int -> int
 (** [binomial_int n k] is C(n, k) as a native int.  Raises [Overflow] if the
     result does not fit. *)

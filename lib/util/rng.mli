@@ -21,6 +21,7 @@ val split : t -> t
     split per benchmark / per experiment arm so that changing the number of
     draws in one arm does not perturb the others. *)
 
+(* lint: allow S4 core draw primitive, part of the documented Rng surface *)
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 
@@ -33,6 +34,7 @@ val int_in : t -> lo:int -> hi:int -> int
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
+(* lint: allow S4 draw-API completeness, part of the documented Rng surface *)
 val bool : t -> bool
 (** [bool t] is a fair coin flip. *)
 

@@ -25,5 +25,3 @@ val student_t_quantile : df:float -> float -> float
 val normal_cdf : float -> float
 (** Standard normal CDF via [erfc]. *)
 
-val erfc : float -> float
-(** Complementary error function (accurate to ~1e-7 relative). *)

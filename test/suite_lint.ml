@@ -151,6 +151,37 @@ let test_o1_console_output () =
     (has_rule "O1" ~rel:"lib/core/foo.ml"
        "(* lint: allow O1 *)\nlet f () = print_endline \"x\"\n")
 
+let test_testish_scope () =
+  let o1 rel src =
+    List.filter (fun d -> d.Diag.rule = "O1") (Engine.lint_source ~rel src)
+  in
+  (match o1 "test/foo.ml" "let f () = print_endline \"x\"\n" with
+  | [ d ] ->
+      Alcotest.(check bool) "O1 downgraded to warning in test/" true
+        (d.Diag.severity = Diag.Warning)
+  | ds -> Alcotest.failf "expected one O1, got %d" (List.length ds));
+  (match o1 "examples/foo.ml" "let f () = print_endline \"x\"\n" with
+  | [ d ] ->
+      Alcotest.(check bool) "O1 downgraded to warning in examples/" true
+        (d.Diag.severity = Diag.Warning)
+  | ds -> Alcotest.failf "expected one O1, got %d" (List.length ds));
+  (match Engine.lint_source ~rel:"test/foo.mli" "val f : int -> int\n" with
+  | [ d ] ->
+      Alcotest.(check string) "M1 applies to test .mli" "M1" d.Diag.rule;
+      Alcotest.(check bool) "as a warning" true (d.Diag.severity = Diag.Warning)
+  | ds -> Alcotest.failf "expected one M1, got %d" (List.length ds))
+
+let test_allow_file () =
+  Alcotest.(check bool) "allow-file suppresses anywhere in the file" false
+    (has_rule "O1" ~rel:"lib/core/foo.ml"
+       "(* lint: allow-file O1 demo *)\nlet pad = 0\nlet f () = print_endline \"x\"\n");
+  Alcotest.(check bool) "allow-file is per-rule" true
+    (has_rule "D1" ~rel:"lib/core/foo.ml"
+       "(* lint: allow-file O1 demo *)\nlet t = Hashtbl.create 16\n");
+  Alcotest.(check bool) "why text after the rule id is ignored" false
+    (has_rule "D1" ~rel:"lib/core/foo.ml"
+       "(* lint: allow D1 wall-clock by design *)\nlet t = Hashtbl.create 16\n")
+
 let test_dune_unix_in_lib () =
   let findings =
     Engine.lint_dune ~rel:"lib/core/dune"
@@ -342,6 +373,8 @@ let tests =
         Alcotest.test_case "M1 mli docs" `Quick test_m1_mli_docs;
         Alcotest.test_case "E1 error prefixes" `Quick test_e1_error_prefixes;
         Alcotest.test_case "O1 console output" `Quick test_o1_console_output;
+        Alcotest.test_case "testish scope downgrades" `Quick test_testish_scope;
+        Alcotest.test_case "allow-file suppression" `Quick test_allow_file;
         Alcotest.test_case "dune unix in lib" `Quick test_dune_unix_in_lib;
         Alcotest.test_case "diagnostic rendering" `Quick test_diag_render;
       ] );

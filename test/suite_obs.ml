@@ -227,6 +227,7 @@ let qcheck_tests =
                 Int64.bits_of_float f = Int64.bits_of_float f'
                 (* -0.0 and 0.0 share a JSON rendering; either bit
                    pattern is a faithful read-back. *)
+                (* lint: allow F1 exact zero-bit check intended *)
                 || (f = 0.0 && f' = 0.0)
             | None -> false)
         | Error _ -> false);

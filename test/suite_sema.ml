@@ -1,0 +1,455 @@
+(* Tests for the AST analysis layer (tools/sema): facts extraction
+   totality, rules S1-S4, shared suppression, the incremental facts
+   cache, the SARIF golden, and the --fix round-trip.
+
+   The acceptance test for S2 mutates the *real* workload generator
+   source (replacing the fetch stream with the data stream) and asserts
+   the lint fails: the stream-separation invariant is statically
+   provable, not just qcheck'd. *)
+
+module Diag = Mppm_lint.Diag
+module Engine = Mppm_lint.Engine
+module Fix = Mppm_lint.Fix
+module Sarif = Mppm_lint.Sarif
+module Facts = Mppm_sema.Facts
+module Sema = Mppm_sema.Sema
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Locate the real source tree (same discipline as suite_lint). *)
+let lint_root () =
+  let candidates =
+    (match Sys.getenv_opt "MPPM_LINT_ROOT" with Some r -> [ r ] | None -> [])
+    @ [ ".."; "../.."; "." ]
+  in
+  List.find_opt
+    (fun root ->
+      let dir = Filename.concat root "lib" in
+      Sys.file_exists dir && Sys.is_directory dir)
+    candidates
+
+let analyze ?cache_file inputs =
+  Sema.analyze ?cache_file ~dunes:[]
+    (List.map (fun (rel, content) -> { Sema.rel; content }) inputs)
+
+let rules_of report = List.map (fun d -> d.Diag.rule) report.Sema.diags
+
+(* ---- S1: effect containment --------------------------------------------- *)
+
+let leaky = "let save x =\n  let oc = open_out \"f.txt\" in\n  output_string oc x;\n  close_out oc\n"
+
+let test_s1_direct_io () =
+  let r = analyze [ ("lib/demo/leaky.ml", leaky) ] in
+  Alcotest.(check (list string)) "direct I/O in lib flagged" [ "S1" ] (rules_of r);
+  let r = analyze [ ("bench/leaky.ml", leaky) ] in
+  Alcotest.(check (list string)) "I/O outside lib is fine" [] (rules_of r)
+
+let test_s1_transitive () =
+  let r =
+    analyze
+      [
+        ("lib/demo/a.ml", leaky);
+        ("lib/demo/b.ml", "let run x = A.save x\n");
+      ]
+  in
+  let files = List.map (fun d -> d.Diag.file) r.Sema.diags in
+  Alcotest.(check (list string)) "caller inherits the I/O effect"
+    [ "lib/demo/a.ml"; "lib/demo/b.ml" ]
+    (List.sort compare files);
+  Alcotest.(check bool) "witness names the callee" true
+    (List.exists
+       (fun d -> d.Diag.file = "lib/demo/b.ml" && contains d.Diag.message "A.save")
+       r.Sema.diags)
+
+let test_s1_allowlist () =
+  let r = analyze [ ("lib/profile/profile.ml", leaky) ] in
+  Alcotest.(check (list string)) "profile store may do I/O" [] (rules_of r);
+  (* Calling an allowlisted unit does not taint the caller. *)
+  let r =
+    analyze
+      [
+        ("lib/profile/profile.ml", leaky);
+        ("lib/profile/user.ml", "let run x = Profile.save x\n");
+      ]
+  in
+  Alcotest.(check (list string)) "allowlist cuts propagation" [] (rules_of r)
+
+(* ---- S2: seed flow ------------------------------------------------------- *)
+
+let test_s2_real_generator_separation () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let rel = "lib/trace/generator.ml" in
+      let content = read_file (Filename.concat root rel) in
+      let clean = analyze [ (rel, content) ] in
+      Alcotest.(check (list string)) "real generator separates streams" []
+        (List.filter (fun r -> r = "S2") (rules_of clean));
+      (* Collapse the fetch stream onto the data stream: S2 must fail. *)
+      let buf = Buffer.create (String.length content) in
+      let n = String.length content in
+      let i = ref 0 in
+      while !i < n do
+        if !i + 10 <= n && String.sub content !i 10 = ".fetch_rng" then begin
+          Buffer.add_string buf ".rng";
+          i := !i + 10
+        end
+        else begin
+          Buffer.add_char buf content.[!i];
+          incr i
+        end
+      done;
+      let mutated = analyze [ (rel, Buffer.contents buf) ] in
+      Alcotest.(check bool) "collapsed streams are caught" true
+        (List.exists
+           (fun d -> d.Diag.rule = "S2" && contains d.Diag.message "next_fetch")
+           mutated.Sema.diags)
+
+let test_s2_helper_fixpoint () =
+  (* The shared field is only reachable through a same-unit helper. *)
+  let src =
+    "let draw t = Mppm_util.Rng.int t.rng 10\n\
+     let next t = draw t\n\
+     let next_fetch t = draw t\n"
+  in
+  let r = analyze [ ("lib/demo/gen.ml", src) ] in
+  Alcotest.(check (list string)) "shared state found through helper" [ "S2" ]
+    (rules_of r)
+
+let test_s2_constant_seed () =
+  let r =
+    analyze [ ("lib/demo/c.ml", "let r = Mppm_util.Rng.create ~seed:42\n") ]
+  in
+  Alcotest.(check (list string)) "constant seed in lib flagged" [ "S2" ]
+    (rules_of r);
+  let r =
+    analyze
+      [ ("lib/demo/c.ml", "let make seed = Mppm_util.Rng.create ~seed\n") ]
+  in
+  Alcotest.(check (list string)) "seed from argument is fine" [] (rules_of r);
+  let r =
+    analyze [ ("test/demo.ml", "let r = Mppm_util.Rng.create ~seed:42\n") ]
+  in
+  Alcotest.(check (list string)) "constant seed outside lib is fine" []
+    (rules_of r)
+
+(* ---- S3: order-sensitive float accumulation ------------------------------ *)
+
+let accum = "let total t = Hashtbl.fold (fun _ v a -> a +. v) t 0.0\n"
+
+let test_s3 () =
+  let r = analyze [ ("lib/demo/acc.ml", accum) ] in
+  (match r.Sema.diags with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "S3" d.Diag.rule;
+      Alcotest.(check bool) "error in lib" true (d.Diag.severity = Diag.Error)
+  | ds -> Alcotest.failf "expected one S3, got %d" (List.length ds));
+  let r = analyze [ ("test/acc.ml", accum) ] in
+  (match r.Sema.diags with
+  | [ d ] ->
+      Alcotest.(check bool) "warning outside lib" true
+        (d.Diag.severity = Diag.Warning)
+  | ds -> Alcotest.failf "expected one S3, got %d" (List.length ds));
+  let seq = "let total t = Seq.fold_left ( +. ) 0.0 (Hashtbl.to_seq_values t)\n" in
+  let r = analyze [ ("lib/demo/acc2.ml", seq) ] in
+  Alcotest.(check (list string)) "to_seq form flagged" [ "S3" ] (rules_of r);
+  let ints = "let total t = Hashtbl.fold (fun _ v a -> a + v) t 0\n" in
+  let r = analyze [ ("lib/demo/acc3.ml", ints) ] in
+  Alcotest.(check (list string)) "integer fold is fine" [] (rules_of r)
+
+(* ---- S4: dead exports ---------------------------------------------------- *)
+
+let test_s4 () =
+  let r =
+    analyze
+      [
+        ("lib/demo/a.ml", "let used n = n + 1\nlet dead n = n - 1\n");
+        ( "lib/demo/a.mli",
+          "val used : int -> int\n(** Used. *)\nval dead : int -> int\n(** Dead. *)\n"
+        );
+        ("lib/demo/b.ml", "let x = A.used 1\n");
+      ]
+  in
+  (match r.Sema.diags with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "S4" d.Diag.rule;
+      Alcotest.(check bool) "names the dead val" true
+        (contains d.Diag.message "dead")
+  | ds -> Alcotest.failf "expected one S4, got %d" (List.length ds));
+  (* A use through [open] counts. *)
+  let r =
+    analyze
+      [
+        ("lib/demo/a.ml", "let used n = n + 1\nlet dead n = n - 1\n");
+        ( "lib/demo/a.mli",
+          "val used : int -> int\n(** Used. *)\nval dead : int -> int\n(** Dead. *)\n"
+        );
+        ("lib/demo/b.ml", "open A\n\nlet x = used 1 + dead 2\n");
+      ]
+  in
+  Alcotest.(check (list string)) "uses through open count" [] (rules_of r)
+
+(* ---- Shared suppression --------------------------------------------------- *)
+
+let test_suppression () =
+  let r =
+    analyze
+      [
+        ( "lib/demo/acc.ml",
+          "(* lint: allow S3 checked: single entry *)\n" ^ accum );
+      ]
+  in
+  Alcotest.(check (list string)) "line allow suppresses S3" [] (rules_of r);
+  let r =
+    analyze
+      [
+        ( "lib/demo/acc.ml",
+          "(* lint: allow-file S3 demo file *)\nlet pad = 0\n" ^ accum );
+      ]
+  in
+  Alcotest.(check (list string)) "allow-file suppresses S3" [] (rules_of r)
+
+(* ---- Totality of extraction (fallback engages, never crashes) ------------- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"facts extraction total on arbitrary bytes"
+      ~count:300 QCheck.string (fun s ->
+        let f = Facts.extract ~rel:"lib/x/y.ml" s in
+        let g = Facts.extract ~rel:"lib/x/y.mli" s in
+        ignore f.Facts.parse_failed;
+        ignore g.Facts.parse_failed;
+        true);
+    QCheck.Test.make ~name:"analysis total on arbitrary bytes" ~count:100
+      QCheck.string (fun s ->
+        ignore (analyze [ ("lib/x/y.ml", s) ]);
+        true);
+    QCheck.Test.make ~name:"fallback engages on mutated real sources"
+      ~count:60
+      QCheck.(pair small_nat string)
+      (fun (pos, garbage) ->
+        match lint_root () with
+        | None -> true
+        | Some root ->
+            let content =
+              read_file (Filename.concat root "lib/trace/generator.ml")
+            in
+            let pos = pos mod max 1 (String.length content) in
+            let mutated =
+              String.sub content 0 pos ^ garbage
+              ^ String.sub content pos (String.length content - pos)
+            in
+            let f = Facts.extract ~rel:"lib/trace/generator.ml" mutated in
+            (* Either it still parses (the splice was benign) or the
+               fallback engaged; both are fine — no exception escaped. *)
+            ignore f.Facts.parse_failed;
+            true);
+  ]
+
+let test_fallback_is_flagged () =
+  let f = Facts.extract ~rel:"lib/x/y.ml" "let let let (((" in
+  Alcotest.(check bool) "parse failure sets the flag" true f.Facts.parse_failed;
+  let r = analyze [ ("lib/x/y.ml", "let let let (((") ] in
+  Alcotest.(check int) "fallback counted" 1 r.Sema.fallbacks
+
+(* ---- Incremental cache ---------------------------------------------------- *)
+
+let test_cache_zero_reparses () =
+  let cache_file = Filename.temp_file "mppm_sema_cache" ".bin" in
+  let inputs =
+    [ ("lib/demo/a.ml", "let f x = x + 1\n"); ("lib/demo/acc.ml", accum) ]
+  in
+  let first = analyze ~cache_file inputs in
+  Alcotest.(check int) "first run parses everything" 2 first.Sema.parses;
+  Alcotest.(check int) "first run has no hits" 0 first.Sema.cache_hits;
+  let second = analyze ~cache_file inputs in
+  Alcotest.(check int) "second run re-parses nothing" 0 second.Sema.parses;
+  Alcotest.(check int) "second run is all hits" 2 second.Sema.cache_hits;
+  Alcotest.(check (list string)) "identical findings"
+    (rules_of first) (rules_of second);
+  (* Touching one file re-parses exactly that file. *)
+  let third =
+    analyze ~cache_file
+      [ ("lib/demo/a.ml", "let f x = x + 2\n"); ("lib/demo/acc.ml", accum) ]
+  in
+  Alcotest.(check int) "changed file re-parsed" 1 third.Sema.parses;
+  Alcotest.(check int) "unchanged file cached" 1 third.Sema.cache_hits;
+  (* A corrupt cache degrades to empty, never an error. *)
+  let oc = open_out_bin cache_file in
+  output_string oc "garbage";
+  close_out oc;
+  let fourth = analyze ~cache_file inputs in
+  Alcotest.(check int) "corrupt cache means re-parse" 2 fourth.Sema.parses;
+  Sys.remove cache_file
+
+(* The --verbose counter through the real driver, over the real tree. *)
+let test_cache_via_driver () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let exe = Filename.concat root "tools/lint/lint.exe" in
+      if not (Sys.file_exists exe) then
+        (* Source checkouts don't carry the binary; the in-process cache
+           test above covers the behavior. *)
+        ()
+      else begin
+        let cache_file = Filename.temp_file "mppm_sema_cache" ".bin" in
+        let out = Filename.temp_file "mppm_lint_out" ".txt" in
+        let run () =
+          Sys.command
+            (Printf.sprintf "%s --root %s --cache %s --verbose > %s 2>&1"
+               (Filename.quote exe) (Filename.quote root)
+               (Filename.quote cache_file) (Filename.quote out))
+        in
+        let rc1 = run () in
+        Alcotest.(check int) "clean tree exits 0 (first)" 0 rc1;
+        let rc2 = run () in
+        Alcotest.(check int) "clean tree exits 0 (second)" 0 rc2;
+        let output = read_file out in
+        Alcotest.(check bool) "second run reports parses=0" true
+          (contains output "parses=0");
+        Sys.remove cache_file;
+        Sys.remove out
+      end
+
+(* ---- SARIF golden ---------------------------------------------------------- *)
+
+let fixture_diags () =
+  let token =
+    Engine.lint_source ~rel:"lib/demo/tbl.ml" "let t = Hashtbl.create 16\n"
+  in
+  let sema =
+    analyze [ ("lib/demo/leaky.ml", leaky); ("lib/demo/acc.ml", accum) ]
+  in
+  List.sort Diag.compare (token @ sema.Sema.diags)
+
+let test_sarif_golden () =
+  let rendered = Sarif.render (fixture_diags ()) in
+  let golden_path = "golden_lint.sarif" in
+  if not (Sys.file_exists golden_path) then
+    Alcotest.failf "missing golden file %s" golden_path
+  else
+    Alcotest.(check string) "SARIF output matches golden"
+      (read_file golden_path) rendered
+
+let test_sarif_shape () =
+  let s = Sarif.render (fixture_diags ()) in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" frag) true (contains s frag))
+    [
+      "\"version\": \"2.1.0\"";
+      "sarif-2.1.0.json";
+      "\"name\": \"mppm-lint\"";
+      "\"rules\"";
+      "\"ruleId\":\"S1\"";
+      "\"ruleIndex\"";
+      "\"uriBaseId\":\"%SRCROOT%\"";
+      "\"startLine\":";
+      "\"uri\":\"lib/demo/leaky.ml\"";
+    ];
+  Alcotest.(check bool) "empty stream still renders a run" true
+    (contains (Sarif.render []) "\"results\"")
+
+(* ---- --fix round-trip ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_fix_round_trip () =
+  let root = Filename.temp_file "mppm_fix" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  Unix.mkdir (Filename.concat root "lib") 0o755;
+  Unix.mkdir (Filename.concat root "lib/demo") 0o755;
+  let file = Filename.concat root "lib/demo/box.ml" in
+  let oc = open_out file in
+  output_string oc
+    "let t = Hashtbl.create 16\n\
+     let f () = failwith \"boom\"\n\
+     (* lint: allow D1 kept bare on purpose *)\n\
+     let u = Hashtbl.create 8\n";
+  close_out oc;
+  let fixed = Fix.fix_tree ~root in
+  Alcotest.(check (list (pair string int))) "one file, two edits"
+    [ ("lib/demo/box.ml", 2) ] fixed;
+  let content = read_file file in
+  Alcotest.(check bool) "~random:false inserted" true
+    (contains content "Hashtbl.create ~random:false 16");
+  Alcotest.(check bool) "message prefixed with module" true
+    (contains content "failwith \"Box: boom\"");
+  Alcotest.(check bool) "suppressed site untouched" true
+    (contains content "let u = Hashtbl.create 8");
+  (* Round-trip: the fixed tree re-lints clean of the fixable shapes and a
+     second pass changes nothing. *)
+  let diags = Engine.lint_source ~rel:"lib/demo/box.ml" content in
+  Alcotest.(check (list string)) "no E1 left" []
+    (List.map (fun d -> d.Diag.rule)
+       (List.filter (fun d -> d.Diag.rule = "E1") diags));
+  Alcotest.(check (list (pair string int))) "idempotent" [] (Fix.fix_tree ~root);
+  rm_rf root
+
+(* ---- Whole-tree assertions (AST layer) ------------------------------------- *)
+
+let test_tree_sema_clean () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let report = Sema.analyze_tree ~root () in
+      let render ds = String.concat "\n" (List.map Diag.to_text ds) in
+      Alcotest.(check string) "no AST-layer findings" ""
+        (render report.Sema.diags);
+      Alcotest.(check int) "every file parses (no fallbacks)" 0
+        report.Sema.fallbacks;
+      Alcotest.(check bool) "effect summaries cover the tree" true
+        (List.length report.Sema.summaries > 100)
+
+let tests =
+  [
+    ( "sema.tree",
+      [
+        Alcotest.test_case "repository is sema-clean" `Quick
+          test_tree_sema_clean;
+        Alcotest.test_case "S2 catches collapsed generator streams" `Quick
+          test_s2_real_generator_separation;
+      ] );
+    ( "sema.rules",
+      [
+        Alcotest.test_case "S1 direct I/O" `Quick test_s1_direct_io;
+        Alcotest.test_case "S1 transitive" `Quick test_s1_transitive;
+        Alcotest.test_case "S1 allowlist" `Quick test_s1_allowlist;
+        Alcotest.test_case "S2 helper fixpoint" `Quick test_s2_helper_fixpoint;
+        Alcotest.test_case "S2 constant seed" `Quick test_s2_constant_seed;
+        Alcotest.test_case "S3 float accumulation" `Quick test_s3;
+        Alcotest.test_case "S4 dead exports" `Quick test_s4;
+        Alcotest.test_case "shared suppression" `Quick test_suppression;
+        Alcotest.test_case "fallback is flagged" `Quick test_fallback_is_flagged;
+      ] );
+    ("sema.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ( "sema.cache",
+      [
+        Alcotest.test_case "zero re-parses on unchanged inputs" `Quick
+          test_cache_zero_reparses;
+        Alcotest.test_case "driver --verbose counter" `Quick
+          test_cache_via_driver;
+      ] );
+    ( "sema.output",
+      [
+        Alcotest.test_case "SARIF golden" `Quick test_sarif_golden;
+        Alcotest.test_case "SARIF shape" `Quick test_sarif_shape;
+        Alcotest.test_case "--fix round trip" `Quick test_fix_round_trip;
+      ] );
+  ]

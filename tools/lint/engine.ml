@@ -1,19 +1,33 @@
-let suppress allows diags =
+(* Strip leading "./" segments so reports are stable root-relative paths
+   whatever form the caller handed the path in. *)
+let normalize_rel rel =
+  let rec strip rel =
+    if String.length rel >= 2 && String.sub rel 0 2 = "./" then
+      strip (String.sub rel 2 (String.length rel - 2))
+    else rel
+  in
+  strip (String.map (fun c -> if c = '\\' then '/' else c) rel)
+
+let suppress ~allows ~allow_files diags =
   List.filter
     (fun d ->
-      not
-        (List.exists
-           (fun (rule, line) ->
-             rule = d.Diag.rule && (line = d.Diag.line || line = d.Diag.line - 1))
-           allows))
+      (not (List.mem d.Diag.rule allow_files))
+      && not
+           (List.exists
+              (fun (rule, line) ->
+                rule = d.Diag.rule
+                && (line = d.Diag.line || line = d.Diag.line - 1))
+              allows))
     diags
 
 let lint_source ~rel content =
+  let rel = normalize_rel rel in
   let ctx = Rules.context_of_rel rel in
   let lx = Lexer.lex content in
-  suppress lx.Lexer.allows (Rules.check_tokens ctx lx)
+  suppress ~allows:lx.Lexer.allows ~allow_files:lx.Lexer.allow_files
+    (Rules.check_tokens ctx lx)
 
-let lint_dune ~rel content = Rules.check_dune ~rel content
+let lint_dune ~rel content = Rules.check_dune ~rel:(normalize_rel rel) content
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,7 +40,7 @@ let lint_file ~root ~rel =
   if Filename.basename rel = "dune" then lint_dune ~rel content
   else lint_source ~rel content
 
-let scanned_dirs = [ "lib"; "bin"; "bench"; "tools" ]
+let scanned_dirs = [ "lib"; "bin"; "bench"; "tools"; "test"; "examples" ]
 
 let skip_dir name =
   name = "_build" || name = "_profile_cache"
@@ -51,11 +65,13 @@ let rec collect root rel_dir =
            then [ rel ]
            else [])
 
+let collect_tree ~root = List.concat_map (fun d -> collect root d) scanned_dirs
+
 let errors diags =
   List.filter (fun d -> d.Diag.severity = Diag.Error) diags
 
 let lint_tree ~root =
-  let files = List.concat_map (fun d -> collect root d) scanned_dirs in
+  let files = collect_tree ~root in
   let file_set = List.fold_left (fun s f -> f :: s) [] files in
   let missing =
     (* Every lib/ implementation must have an interface. *)

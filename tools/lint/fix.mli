@@ -1,0 +1,15 @@
+(** Autofixes for the mechanical rule shapes ([--fix]): inserting
+    [~random:false] into bare [Hashtbl.create] calls (D1) and prefixing
+    [failwith]/[invalid_arg] messages with the module name (E1).
+
+    Fixes are driven by re-linting the source, so suppressed findings are
+    left untouched, and fixing is idempotent: a fixed file re-lints clean
+    of the fixable shapes. *)
+
+val fix_source : rel:string -> string -> string * int
+(** [fix_source ~rel content] is [(fixed, n)] where [n] is the number of
+    edits applied.  [n = 0] means [fixed] is [content] unchanged. *)
+
+val fix_tree : root:string -> (string * int) list
+(** Fix every [.ml] file under the scanned tree in place, returning the
+    root-relative path and edit count of each rewritten file. *)

@@ -13,6 +13,7 @@ type lexed = {
   tokens : loc_token array;
   docs : doc list;
   allows : (string * int) list;
+  allow_files : string list;
 }
 
 let is_digit c = c >= '0' && c <= '9'
@@ -28,28 +29,47 @@ let is_op_char c =
       true
   | _ -> false
 
-(* Parse the body of a suppression comment: "lint: allow D1 F1" (rules may
-   also be comma-separated).  Returns the listed rule ids. *)
+(* Parse the body of a suppression comment: "lint: allow D1 F1" for a
+   line-scoped allow, "lint: allow-file O1" for a whole-file allow (rules
+   may also be comma-separated).  Returns the scope and the listed rule
+   ids. *)
+type allow_scope = Allow_line | Allow_file
+
 let parse_allow body =
   let body = String.trim body in
   let prefix = "lint:" in
   if String.length body < String.length prefix
      || not (String.sub body 0 (String.length prefix) = prefix)
-  then []
+  then None
   else
     let rest = String.sub body 5 (String.length body - 5) in
+    (* Rule ids are an uppercase letter followed by digits; everything
+       after the leading run of ids is free-form "why" text. *)
+    let is_rule_id s =
+      String.length s >= 2
+      && s.[0] >= 'A'
+      && s.[0] <= 'Z'
+      && String.for_all (fun c -> c >= '0' && c <= '9')
+           (String.sub s 1 (String.length s - 1))
+    in
+    let rec leading_ids = function
+      | tok :: rest when is_rule_id tok -> tok :: leading_ids rest
+      | _ -> []
+    in
     match
       String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) rest)
       |> List.filter (fun s -> s <> "")
     with
-    | "allow" :: rules -> rules
-    | _ -> []
+    | "allow" :: rules -> Some (Allow_line, leading_ids rules)
+    | "allow-file" :: rules -> Some (Allow_file, leading_ids rules)
+    | _ -> None
 
 let lex source =
   let n = String.length source in
   let tokens = ref [] in
   let docs = ref [] in
   let allows = ref [] in
+  let allow_files = ref [] in
   let line = ref 1 in
   let i = ref 0 in
   let peek k = if !i + k < n then Some source.[!i + k] else None in
@@ -139,9 +159,14 @@ let lex source =
     let body = Buffer.contents buf in
     if is_doc then docs := { doc_start = start_line; doc_end = !line } :: !docs
     else
-      List.iter
-        (fun rule -> allows := (rule, start_line) :: !allows)
-        (parse_allow body)
+      match parse_allow body with
+      | Some (Allow_line, rules) ->
+          List.iter
+            (fun rule -> allows := (rule, start_line) :: !allows)
+            rules
+      | Some (Allow_file, rules) ->
+          List.iter (fun rule -> allow_files := rule :: !allow_files) rules
+      | None -> ()
   in
   while !i < n do
     let c = source.[!i] in
@@ -306,4 +331,5 @@ let lex source =
     tokens = Array.of_list (List.rev !tokens);
     docs = List.rev !docs;
     allows = List.rev !allows;
+    allow_files = List.rev !allow_files;
   }

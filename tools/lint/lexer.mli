@@ -24,6 +24,9 @@ type lexed = {
   docs : doc list;  (** doc comments in source order *)
   allows : (string * int) list;
       (** [(rule, line)] for each [(* lint: allow <rule> ... *)] comment *)
+  allow_files : string list;
+      (** rules suppressed for the whole file by
+          [(* lint: allow-file <rule> ... *)] comments *)
 }
 
 val lex : string -> lexed

@@ -1,26 +1,40 @@
-(* mppm-lint driver: walk the tree, print findings, exit 1 on errors.
+(* mppm-lint driver: run both analysis layers over the tree, print the
+   merged findings, exit 1 on errors.
 
-   Usage: lint.exe [--root DIR] [--format text|json] [--only RULE]... *)
+   Layers: the token rules (D1 D2 F1 M1 E1 O1, Mppm_lint) and the AST
+   rules (S1 S2 S3 S4, Mppm_sema).  Both share root-relative paths and
+   the [(* lint: allow ... *)] suppression comments.
+
+   Usage: lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]...
+                   [--fix] [--cache FILE] [--verbose] *)
 
 module Diag = Mppm_lint.Diag
 module Engine = Mppm_lint.Engine
 module Rules = Mppm_lint.Rules
+module Fix = Mppm_lint.Fix
+module Sarif = Mppm_lint.Sarif
 
-type format = Text | Json
+type format = Text | Json | Sarif
 
-let usage = "lint.exe [--root DIR] [--format text|json] [--only RULE]..."
+let usage =
+  "lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]... [--fix] \
+   [--cache FILE] [--verbose]"
 
 let () =
   let root = ref "." in
   let format = ref Text in
   let only = ref [] in
+  let fix = ref false in
+  let cache_file = ref "" in
+  let verbose = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR  repository root to lint (default .)");
       ( "--format",
         Arg.Symbol
-          ( [ "text"; "json" ],
-            fun s -> format := if s = "json" then Json else Text ),
+          ( [ "text"; "json"; "sarif" ],
+            fun s ->
+              format := (match s with "json" -> Json | "sarif" -> Sarif | _ -> Text) ),
         "  output format (default text)" );
       ( "--only",
         Arg.String
@@ -32,6 +46,18 @@ let () =
             end;
             only := r :: !only),
         "RULE  restrict to one rule id (repeatable)" );
+      ( "--fix",
+        Arg.Set fix,
+        "  rewrite sources in place, applying the mechanical fixes (D1 \
+         ~random:false, E1 message prefix) before linting" );
+      ( "--cache",
+        Arg.Set_string cache_file,
+        "FILE  persist per-file AST facts keyed by content fingerprint; a \
+         second run over an unchanged tree re-parses nothing" );
+      ( "--verbose",
+        Arg.Set verbose,
+        "  print per-layer statistics (sema parses / cache hits / fallbacks)"
+      );
     ]
   in
   Arg.parse spec
@@ -51,15 +77,34 @@ let () =
       (String.concat " " Engine.scanned_dirs);
     exit 2
   end;
-  let diags = Engine.lint_tree ~root:!root in
+  if !fix then begin
+    let fixed = Fix.fix_tree ~root:!root in
+    List.iter
+      (fun (rel, n) ->
+        Printf.printf "fixed %s (%d change%s)\n" rel n
+          (if n = 1 then "" else "s"))
+      fixed
+  end;
+  let token_diags = Engine.lint_tree ~root:!root in
+  let report =
+    Mppm_sema.Sema.analyze_tree
+      ?cache_file:(if !cache_file = "" then None else Some !cache_file)
+      ~root:!root ()
+  in
+  let diags = List.sort Diag.compare (token_diags @ report.Mppm_sema.Sema.diags) in
   let diags =
     match !only with
     | [] -> diags
     | rules -> List.filter (fun d -> List.mem d.Diag.rule rules) diags
   in
+  if !verbose then
+    Printf.printf "sema: parses=%d cache-hits=%d fallbacks=%d\n"
+      report.Mppm_sema.Sema.parses report.Mppm_sema.Sema.cache_hits
+      report.Mppm_sema.Sema.fallbacks;
   let errors = Engine.errors diags in
   (match !format with
   | Json -> print_endline (Diag.list_to_json diags)
+  | Sarif -> print_string (Sarif.render diags)
   | Text ->
       List.iter (fun d -> print_endline (Diag.to_text d)) diags;
       Printf.printf "%d finding%s (%d error%s, %d warning%s)\n"

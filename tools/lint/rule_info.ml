@@ -1,0 +1,85 @@
+type t = { id : string; layer : string; summary : string }
+
+(* Report order: token-layer rules first, then the AST layer.  SARIF
+   [ruleIndex] values index into this list, so the order is part of the
+   golden-tested output format. *)
+let all =
+  [
+    {
+      id = "D1";
+      layer = "token";
+      summary =
+        "Nondeterminism source in lib/: stdlib Random, wall-clock reads, \
+         Hashtbl.hash-family, Hashtbl.create without ~random:false, or a \
+         lib/ dune file linking unix.";
+    };
+    {
+      id = "D2";
+      layer = "token";
+      summary =
+        "stdlib Random outside Mppm_util.Rng: all randomness must flow from \
+         integer seeds through Mppm_util.Rng.";
+    };
+    {
+      id = "F1";
+      layer = "token";
+      summary =
+        "Float equality via polymorphic =/==/<>/!=/compare against a float \
+         literal; use Mppm_util.Stats.approx_equal or Float.equal.";
+    };
+    {
+      id = "M1";
+      layer = "token";
+      summary =
+        "Public lib/ module without an .mli, or an .mli item without a doc \
+         comment.";
+    };
+    {
+      id = "E1";
+      layer = "token";
+      summary =
+        "failwith/invalid_arg message without the defining module's name as \
+         prefix.";
+    };
+    {
+      id = "O1";
+      layer = "token";
+      summary =
+        "Console output from lib/: return data, render via a caller-supplied \
+         formatter, or emit through an Mppm_obs sink.";
+    };
+    {
+      id = "S1";
+      layer = "ast";
+      summary =
+        "Effect containment: a lib/ function transitively reaches file or \
+         channel I/O outside the allowlisted profile-cache / trace-file / \
+         obs-sink modules.";
+    };
+    {
+      id = "S2";
+      layer = "ast";
+      summary =
+        "Seed flow: an Mppm_util.Rng state created from a baked-in literal \
+         seed, or one Rng stream feeding both the data (next) and fetch \
+         (next_fetch) draw sites.";
+    };
+    {
+      id = "S3";
+      layer = "ast";
+      summary =
+        "Order-sensitive float accumulation over unordered Hashtbl \
+         iteration: the sum depends on hash-bucket order.";
+    };
+    {
+      id = "S4";
+      layer = "ast";
+      summary =
+        "Dead export: a lib/ .mli value referenced by no other compilation \
+         unit.";
+    };
+  ]
+
+let all_ids = List.map (fun r -> r.id) all
+
+let find id = List.find_opt (fun r -> r.id = id) all

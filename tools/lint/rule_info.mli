@@ -1,0 +1,23 @@
+(** Registry of every lint rule across both analysis layers.
+
+    The token layer ([Rules], over {!Lexer} output) and the AST layer
+    ([Mppm_sema], over compiler-libs parse trees) share one diagnostic
+    stream, one suppression syntax and one output format; this module is
+    the single list of rule ids and descriptions both layers and the
+    SARIF renderer agree on. *)
+
+type t = {
+  id : string;  (** rule identifier, e.g. ["D1"] or ["S2"] *)
+  layer : string;  (** ["token"] or ["ast"] *)
+  summary : string;  (** one-sentence description, used in SARIF rules *)
+}
+
+val all : t list
+(** Every known rule in report order.  SARIF [ruleIndex] values index into
+    this list, so the order is stable and golden-tested. *)
+
+val all_ids : string list
+(** The ids of {!all}, in the same order. *)
+
+val find : string -> t option
+(** Look a rule up by id. *)

@@ -1,18 +1,32 @@
+type scope = Lib | Exec | Testish
+
 type ctx = {
   rel : string;
+  scope : scope;
   in_lib : bool;
   is_mli : bool;
   module_name : string;
 }
 
-let all_rule_ids = [ "D1"; "D2"; "F1"; "M1"; "E1"; "O1" ]
+let all_rule_ids = Rule_info.all_ids
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let scope_of_rel rel =
+  if starts_with "lib/" rel then Lib
+  else if starts_with "test/" rel || starts_with "examples/" rel then Testish
+  else Exec
 
 let context_of_rel rel =
   let base = Filename.basename rel in
   let stem = Filename.remove_extension base in
+  let scope = scope_of_rel rel in
   {
     rel;
-    in_lib = String.length rel >= 4 && String.sub rel 0 4 = "lib/";
+    scope;
+    in_lib = scope = Lib;
     is_mli = Filename.extension base = ".mli";
     module_name = String.capitalize_ascii stem;
   }
@@ -234,7 +248,7 @@ let signature_items tokens =
   List.rev !items
 
 let check_mli_docs ctx lx acc =
-  if not (ctx.in_lib && ctx.is_mli) then acc
+  if not (ctx.is_mli && (ctx.scope = Lib || ctx.scope = Testish)) then acc
   else
     let items = signature_items lx.tokens in
     let last_line =
@@ -262,9 +276,13 @@ let check_mli_docs ctx lx acc =
         if documented then acc
         else
           let severity =
-            match it.item_kind with
-            | "val" | "external" -> Diag.Error
-            | _ -> Diag.Warning
+            (* Interfaces under test/ and examples/ are held to the same
+               documentation bar, but only advisorily. *)
+            if ctx.scope = Testish then Diag.Warning
+            else
+              match it.item_kind with
+              | "val" | "external" -> Diag.Error
+              | _ -> Diag.Warning
           in
           diag ctx ~line:it.item_line ~rule:"M1" ~severity
             (Printf.sprintf "%s %s has no doc comment" it.item_kind
@@ -318,15 +336,17 @@ let console_idents =
     "prerr_float"; "prerr_bytes";
   ]
 
-let console_message what =
+let console_message ctx what =
   Printf.sprintf
-    "console output (%s) in lib/: return data, render via a caller-supplied \
+    "console output (%s) in %s: return data, render via a caller-supplied \
      formatter, or emit through an Mppm_obs sink"
     what
+    (match ctx.scope with Lib -> "lib/" | _ -> "test/examples code")
 
 let check_console_output ctx lx acc =
-  if not ctx.in_lib then acc
+  if not (ctx.scope = Lib || ctx.scope = Testish) then acc
   else
+    let severity = if ctx.scope = Lib then Diag.Error else Diag.Warning in
     let tokens = lx.tokens in
     let out = ref acc in
     Array.iteri
@@ -336,21 +356,20 @@ let check_console_output ctx lx acc =
           when List.mem id console_idents
                && tok_at tokens (i - 1) <> Some (Op ".") ->
             out :=
-              diag ctx ~line ~rule:"O1" ~severity:Diag.Error
-                (console_message id)
+              diag ctx ~line ~rule:"O1" ~severity (console_message ctx id)
               :: !out
         | _ -> (
             match qualified tokens i with
             | Some ((("Printf" | "Format") as u), (("printf" | "eprintf") as m))
               ->
                 out :=
-                  diag ctx ~line ~rule:"O1" ~severity:Diag.Error
-                    (console_message (u ^ "." ^ m))
+                  diag ctx ~line ~rule:"O1" ~severity
+                    (console_message ctx (u ^ "." ^ m))
                   :: !out
             | Some ("Format", (("std_formatter" | "err_formatter") as m)) ->
                 out :=
-                  diag ctx ~line ~rule:"O1" ~severity:Diag.Error
-                    (console_message ("Format." ^ m))
+                  diag ctx ~line ~rule:"O1" ~severity
+                    (console_message ctx ("Format." ^ m))
                   :: !out
             | _ -> ()))
       tokens;

@@ -27,15 +27,23 @@
       through a caller-supplied formatter, or emits through an
       [Mppm_obs] sink. *)
 
+type scope = Lib | Exec | Testish
+(** Where a file lives, which decides rule applicability and severity:
+    [Lib] is [lib/]; [Testish] is [test/] and [examples/], where [M1] and
+    [O1] downgrade to warnings; [Exec] is everything else ([bin/],
+    [bench/], [tools/]). *)
+
 type ctx = {
   rel : string;  (** root-relative path, '/'-separated *)
-  in_lib : bool;  (** true when [rel] is under [lib/] *)
+  scope : scope;  (** see {!scope} *)
+  in_lib : bool;  (** true when [scope] is [Lib] *)
   is_mli : bool;
   module_name : string;  (** capitalized basename, e.g. ["Model"] *)
 }
 
 val all_rule_ids : string list
-(** The known rule identifiers, in report order. *)
+(** The known rule identifiers across both analysis layers, in report
+    order (an alias for {!Rule_info.all_ids}). *)
 
 val context_of_rel : string -> ctx
 (** Derive a {!ctx} from a root-relative path. *)

@@ -1,0 +1,17 @@
+(** SARIF 2.1.0 rendering of a diagnostic stream, for GitHub code-scanning
+    annotations ([--format sarif]). *)
+
+val schema_uri : string
+(** The [$schema] URI emitted in the log header. *)
+
+val tool_name : string
+(** The [tool.driver.name] emitted in the run. *)
+
+val tool_version : string
+(** The [tool.driver.version] emitted in the run. *)
+
+val render : Diag.t list -> string
+(** [render diags] is a complete, deterministic SARIF 2.1.0 log: one run,
+    the {!Rule_info.all} rules table (so [ruleIndex] is stable), and one
+    [result] per finding in {!Diag.compare} order.  File URIs are the
+    root-relative diagnostic paths under the [%SRCROOT%] base id. *)

@@ -1,0 +1,24 @@
+(* Total wrappers around the compiler-libs parser.
+
+   The AST layer must never crash the linter: any exception from the
+   lexer/parser (syntax errors, malformed literals, even assertion
+   failures on adversarial bytes) is caught and surfaced as [None], which
+   the driver treats as "fall back to the token layer for this file".
+   This totality is qcheck-verified in test/suite_sema.ml. *)
+
+let fresh_lexbuf ~filename content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf filename;
+  lexbuf.Lexing.lex_curr_p <-
+    { lexbuf.Lexing.lex_curr_p with Lexing.pos_lnum = 1; pos_bol = 0 };
+  lexbuf
+
+let implementation ~filename content =
+  match Parse.implementation (fresh_lexbuf ~filename content) with
+  | structure -> Some structure
+  | exception _ -> None
+
+let interface ~filename content =
+  match Parse.interface (fresh_lexbuf ~filename content) with
+  | signature -> Some signature
+  | exception _ -> None

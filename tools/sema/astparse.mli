@@ -1,0 +1,12 @@
+(** Total wrappers around the compiler-libs OCaml parser.
+
+    Any parser/lexer exception yields [None] instead of escaping, so the
+    AST layer can always fall back gracefully to the token layer
+    (qcheck-verified in [test/suite_sema.ml]). *)
+
+val implementation : filename:string -> string -> Parsetree.structure option
+(** Parse a [.ml] source given as a string; [None] on any parse failure. *)
+
+val interface : filename:string -> string -> Parsetree.signature option
+(** Parse a [.mli] source given as a string; [None] on any parse
+    failure. *)

@@ -1,0 +1,38 @@
+(** Incremental facts cache keyed by {!Mppm_util.Fingerprint}.
+
+    A single Marshal'd file maps per-source fingerprints to extracted
+    {!Facts.t}, so a second run over an unchanged tree performs zero
+    re-parses (asserted by the test suite via the driver's parse
+    counter).  The cache is disposable: any load failure — missing file,
+    stale magic after a format change, truncated data — degrades to an
+    empty cache, never an error. *)
+
+type t
+(** An in-memory cache, mutated in place and persisted with {!store}. *)
+
+val magic : string
+(** Version tag written at the head of the cache file; folded into every
+    key so a format bump invalidates all entries. *)
+
+val key : rel:string -> string -> string
+(** [key ~rel content] is the cache key of one source file: a
+    fingerprint of the cache version, the root-relative path and the
+    full file content. *)
+
+val create : unit -> t
+(** A fresh empty cache. *)
+
+val load : string -> t
+(** [load path] reads a cache file, or returns an empty cache when the
+    file is missing, carries a different {!magic}, or fails to
+    deserialize. *)
+
+val store : string -> t -> unit
+(** [store path t] persists the cache (entries in sorted key order, so
+    the byte output is deterministic for a given content). *)
+
+val find : t -> string -> Facts.t option
+(** Lookup by {!key}. *)
+
+val add : t -> string -> Facts.t -> unit
+(** Insert/replace an entry. *)

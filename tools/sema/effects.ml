@@ -1,0 +1,174 @@
+(* Transitive per-function effect summaries and the S1 containment rule.
+
+   Each top-level function starts from its direct effects (recorded in
+   Facts) and absorbs the effects of every resolvable callee to a
+   fixpoint.  Propagation of the I/O effect stops at the allowlisted
+   units: calling into the profile cache or the trace-file store is
+   sanctioned, so the caller does not inherit the I/O taint. *)
+
+module Diag = Mppm_lint.Diag
+
+(* Units allowed to perform (and absorb) file/channel I/O: the profile
+   store, the binary trace store, the profile-cache directory management in
+   the experiment context, and the observability sink surface. *)
+let allowlist =
+  [
+    "lib/profile/profile";
+    "lib/trace/trace_file";
+    "lib/experiments/context";
+    "lib/obs/sink";
+  ]
+
+type node = {
+  mutable io : bool;
+  mutable io_witness : string;
+  mutable rng : bool;
+  mutable mut : bool;
+  mutable raises : bool;
+  fn : Facts.fn;
+  unit_key : string;
+  rel : string;
+}
+
+let node_key unit_key fn_name = unit_key ^ ":" ^ fn_name
+
+let build_nodes facts_list =
+  let nodes : (string, node) Hashtbl.t = Hashtbl.create ~random:false 256 in
+  List.iter
+    (fun (f : Facts.t) ->
+      if (not f.Facts.is_mli) && not f.Facts.parse_failed then
+        let unit_key = Facts.unit_key_of_rel f.Facts.rel in
+        List.iter
+          (fun (fn : Facts.fn) ->
+            let io = fn.Facts.prim_io <> [] in
+            Hashtbl.replace nodes
+              (node_key unit_key fn.Facts.fn_name)
+              {
+                io;
+                io_witness =
+                  (match fn.Facts.prim_io with
+                  | (p, _) :: _ -> p
+                  | [] -> "");
+                rng = fn.Facts.has_rng;
+                mut = fn.Facts.mutates_global;
+                raises = fn.Facts.raises;
+                fn;
+                unit_key;
+                rel = f.Facts.rel;
+              })
+          f.Facts.fns)
+    facts_list;
+  nodes
+
+(* Resolve a call made from [facts] to a node key, when the callee is a
+   known top-level function of a scanned unit.  Unqualified single-element
+   paths resolve within the same unit. *)
+let callee_key env (facts : Facts.t) nodes path =
+  let unit_key = Facts.unit_key_of_rel facts.Facts.rel in
+  match path with
+  | [ name ] ->
+      let k = node_key unit_key name in
+      if Hashtbl.mem nodes k then Some k else None
+  | _ -> (
+      match Resolve.resolve env facts path with
+      | Some (callee_unit, member) ->
+          let k = node_key callee_unit member in
+          if Hashtbl.mem nodes k then Some k else None
+      | None -> None)
+
+let propagate env facts_list nodes =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Facts.t) ->
+        if (not f.Facts.is_mli) && not f.Facts.parse_failed then
+          let unit_key = Facts.unit_key_of_rel f.Facts.rel in
+          List.iter
+            (fun (fn : Facts.fn) ->
+              match Hashtbl.find_opt nodes (node_key unit_key fn.Facts.fn_name) with
+              | None -> ()
+              | Some node ->
+                  List.iter
+                    (fun path ->
+                      match callee_key env f nodes path with
+                      | None -> ()
+                      | Some k ->
+                          let callee = Hashtbl.find nodes k in
+                          if callee != node then begin
+                            if
+                              callee.io
+                              && (not (List.mem callee.unit_key allowlist))
+                              && not node.io
+                            then begin
+                              node.io <- true;
+                              node.io_witness <-
+                                Printf.sprintf "call to %s.%s"
+                                  (String.capitalize_ascii
+                                     (Filename.basename callee.unit_key))
+                                  callee.fn.Facts.fn_name;
+                              changed := true
+                            end;
+                            if callee.rng && not node.rng then begin
+                              node.rng <- true;
+                              changed := true
+                            end;
+                            if callee.mut && not node.mut then begin
+                              node.mut <- true;
+                              changed := true
+                            end;
+                            if callee.raises && not node.raises then begin
+                              node.raises <- true;
+                              changed := true
+                            end
+                          end)
+                    fn.Facts.calls)
+            f.Facts.fns)
+      facts_list
+  done
+
+let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
+
+let check env facts_list =
+  let nodes = build_nodes facts_list in
+  propagate env facts_list nodes;
+  let diags = ref [] in
+  Hashtbl.iter
+    (fun _ node ->
+      if
+        node.io && in_lib node.rel
+        && not (List.mem node.unit_key allowlist)
+      then
+        diags :=
+          {
+            Diag.file = node.rel;
+            line = node.fn.Facts.fn_line;
+            rule = "S1";
+            severity = Diag.Error;
+            message =
+              Printf.sprintf
+                "%s reaches file/channel I/O (%s); lib/ effects must stay \
+                 inside the allowlisted profile-cache/trace-file/obs-sink \
+                 modules"
+                node.fn.Facts.fn_name node.io_witness;
+          }
+          :: !diags)
+    nodes;
+  List.sort Diag.compare !diags
+
+let summaries env facts_list =
+  let nodes = build_nodes facts_list in
+  propagate env facts_list nodes;
+  Hashtbl.fold
+    (fun _ node acc ->
+      let effects =
+        List.filter_map
+          (fun (name, on) -> if on then Some name else None)
+          [
+            ("io", node.io); ("rng", node.rng); ("mut-global", node.mut);
+            ("raises", node.raises);
+          ]
+      in
+      (node.rel, node.fn.Facts.fn_name, String.concat "," effects) :: acc)
+    nodes []
+  |> List.sort compare

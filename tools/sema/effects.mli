@@ -1,0 +1,21 @@
+(** Transitive effect summaries and the S1 effect-containment rule.
+
+    Direct per-function effects come from {!Facts}; this module closes
+    them over the cross-module call graph to a fixpoint and reports any
+    [lib/] function that can transitively reach file/channel I/O outside
+    the allowlisted profile-cache / trace-file / obs-sink modules. *)
+
+val allowlist : string list
+(** Compilation-unit keys ([lib/profile/profile], ...) sanctioned to
+    perform file/channel I/O.  Propagation of the I/O effect is cut at
+    these units: calling them does not taint the caller. *)
+
+val check : Resolve.env -> Facts.t list -> Mppm_lint.Diag.t list
+(** S1 findings (errors), sorted in {!Mppm_lint.Diag.compare} order.
+    Suppression is applied by the caller ({!Sema.analyze}). *)
+
+val summaries : Resolve.env -> Facts.t list -> (string * string * string) list
+(** [(file, function, effects)] for every analyzed function, where
+    [effects] is a comma-joined subset of
+    [io], [rng], [mut-global], [raises] after transitive propagation.
+    Sorted; used by the driver's [--summaries] output. *)

@@ -1,0 +1,459 @@
+(* Per-file facts extracted from the compiler-libs parse tree.
+
+   Facts are plain serializable data (no AST nodes), so they can be cached
+   by source fingerprint and re-fed to the cross-module passes without
+   re-parsing.  Extraction is syntactic — no typing — so every judgment
+   here is a heuristic; the rules built on top are tuned to be zero-noise
+   on this tree (asserted by the test suite). *)
+
+type fn = {
+  fn_name : string;
+  fn_line : int;
+  calls : string list list;
+      (* every value path referenced inside the body, alias-expanded *)
+  rng_fields : string list;
+      (* record fields passed as the state argument of an Rng draw *)
+  prim_io : (string * int) list;  (* (primitive, line) of direct file I/O *)
+  has_rng : bool;
+  mutates_global : bool;
+  raises : bool;
+}
+
+type rng_create = { rc_line : int; rc_constant_seed : bool }
+type float_accum = { fa_line : int; fa_context : string }
+
+type t = {
+  rel : string;
+  unit_name : string;  (* capitalized stem, e.g. "Generator" *)
+  dir : string;  (* e.g. "lib/trace" *)
+  is_mli : bool;
+  parse_failed : bool;
+  opens : string list list;
+  aliases : (string * string list) list;  (* module X = A.B *)
+  fns : fn list;
+  refs : string list list;  (* every value path referenced in the file *)
+  mli_vals : (string * int) list;  (* .mli val items: (name, line) *)
+  rng_creates : rng_create list;
+  float_accums : float_accum list;
+  allows : (string * int) list;
+  allow_files : string list;
+}
+
+let unit_key_of_rel rel = Filename.remove_extension rel
+
+(* ---- path helpers ------------------------------------------------------ *)
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let expand aliases path =
+  match path with
+  | a :: rest when List.mem_assoc a aliases -> List.assoc a aliases @ rest
+  | _ -> path
+
+let channel_prims =
+  [
+    "open_in"; "open_in_bin"; "open_in_gen"; "open_out"; "open_out_bin";
+    "open_out_gen"; "close_in"; "close_in_noerr"; "close_out";
+    "close_out_noerr"; "input_line"; "input_char"; "input_byte";
+    "input_binary_int"; "input_value"; "really_input"; "really_input_string";
+    "output_string"; "output_char"; "output_byte"; "output_binary_int";
+    "output_value"; "output_bytes"; "output_substring"; "seek_in"; "seek_out";
+    "pos_in"; "pos_out"; "in_channel_length"; "out_channel_length";
+    "set_binary_mode_in"; "set_binary_mode_out";
+  ]
+
+let sys_fs_prims =
+  [
+    "remove"; "rename"; "readdir"; "mkdir"; "rmdir"; "command"; "chdir";
+    "getcwd"; "file_exists"; "is_directory";
+  ]
+
+let io_prim_of_path = function
+  | [ p ] when List.mem p channel_prims -> Some p
+  | [ "Stdlib"; p ] when List.mem p channel_prims -> Some p
+  | [ "Sys"; p ] when List.mem p sys_fs_prims -> Some ("Sys." ^ p)
+  | "Unix" :: p :: _ -> Some ("Unix." ^ p)
+  | _ -> None
+
+(* A path that ends [....Rng.member] is a use of the deterministic RNG:
+   the only module named Rng anywhere in the tree is Mppm_util.Rng, and
+   local aliases ([module Rng = Mppm_util.Rng]) keep the name. *)
+let rng_member_of_path path =
+  match List.rev path with
+  | member :: "Rng" :: _ -> Some member
+  | _ -> None
+
+let raise_prims = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let float_ops = [ "+."; "-."; "*."; "/." ]
+
+(* ---- expression scanning ---------------------------------------------- *)
+
+let line_of_expr e = e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let expr_contains pred e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if pred e then found := true;
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let is_float_op e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident op; _ } ->
+      List.mem op float_ops
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [ "Float"; ("add" | "sub" | "mul" | "div") ] -> true
+      | _ -> false)
+  | _ -> false
+
+let mentions_ident e =
+  expr_contains
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident _ -> true
+      | _ -> false)
+    e
+
+let is_fun e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> true
+  | _ -> false
+
+let head_path aliases e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> expand aliases (flatten txt)
+  | _ -> []
+
+let applies_hashtbl_to_seq aliases e =
+  expr_contains
+    (fun e ->
+      let path =
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_apply (head, _) -> head_path aliases head
+        | Parsetree.Pexp_ident { txt; _ } -> expand aliases (flatten txt)
+        | _ -> []
+      in
+      match List.rev path with
+      | m :: "Hashtbl" :: _ ->
+          String.length m >= 6 && String.sub m 0 6 = "to_seq"
+      | _ -> false)
+    e
+
+(* ---- per-file extraction ----------------------------------------------- *)
+
+type state = {
+  mutable st_opens : string list list;
+  mutable st_aliases : (string * string list) list;
+  mutable st_toplevel : string list;
+  mutable st_fns : fn list;
+  mutable st_refs : string list list;
+  mutable st_creates : rng_create list;
+  mutable st_accums : float_accum list;
+}
+
+let rec pattern_names p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> [ txt ]
+  | Parsetree.Ppat_constraint (p, _) -> pattern_names p
+  | Parsetree.Ppat_tuple ps -> List.concat_map pattern_names ps
+  | Parsetree.Ppat_alias (p, { txt; _ }) -> txt :: pattern_names p
+  | _ -> []
+
+(* Scan one top-level binding body, accumulating the fn summary. *)
+let scan_body st ~fn_name ~fn_line body =
+  let calls = ref [] in
+  let rng_fields = ref [] in
+  let prim_io = ref [] in
+  let has_rng = ref false in
+  let mutates_global = ref false in
+  let raises = ref false in
+  (* Function-wide map of [let v = expr.field] aliases, so a draw through a
+     local binding still resolves to the record field. *)
+  let field_aliases = ref [] in
+  let record_path line path =
+    if path <> [] then begin
+      calls := path :: !calls;
+      st.st_refs <- path :: st.st_refs;
+      (match io_prim_of_path path with
+      | Some p -> prim_io := (p, line) :: !prim_io
+      | None -> ());
+      (match List.rev path with
+      | last :: _ when List.mem last raise_prims && List.length path <= 2 ->
+          raises := true
+      | _ -> ());
+      match rng_member_of_path path with
+      | Some _ -> has_rng := true
+      | None -> ()
+    end
+  in
+  let rng_field_of_arg e =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_field (_, { txt; _ }) -> (
+        match List.rev (flatten txt) with f :: _ -> Some f | [] -> None)
+    | Parsetree.Pexp_ident { txt = Longident.Lident v; _ } ->
+        List.assoc_opt v !field_aliases
+    | _ -> None
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } ->
+              record_path (line_of_expr e) (expand st.st_aliases (flatten txt))
+          | Parsetree.Pexp_field (_, { txt; _ }) ->
+              (* Qualified record-field access ([cfg.Hierarchy.llc]) counts
+                 as a reference so S4 does not flag a val sharing a field's
+                 name. *)
+              st.st_refs <- expand st.st_aliases (flatten txt) :: st.st_refs
+          | Parsetree.Pexp_open (od, _) -> (
+              match od.Parsetree.popen_expr.Parsetree.pmod_desc with
+              | Parsetree.Pmod_ident { txt; _ } ->
+                  st.st_opens <- flatten txt :: st.st_opens
+              | _ -> ())
+          | Parsetree.Pexp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  match
+                    ( vb.Parsetree.pvb_pat.Parsetree.ppat_desc,
+                      vb.Parsetree.pvb_expr.Parsetree.pexp_desc )
+                  with
+                  | ( Parsetree.Ppat_var { txt = v; _ },
+                      Parsetree.Pexp_field (_, { txt; _ }) ) -> (
+                      match List.rev (flatten txt) with
+                      | f :: _ -> field_aliases := (v, f) :: !field_aliases
+                      | [] -> ())
+                  | _ -> ())
+                vbs
+          | Parsetree.Pexp_setfield (target, _, _) -> (
+              match target.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident { txt = Longident.Lident v; _ }
+                when List.mem v st.st_toplevel ->
+                  mutates_global := true
+              | _ -> ())
+          | Parsetree.Pexp_apply (head, args) -> (
+              let line = line_of_expr e in
+              let path = head_path st.st_aliases head in
+              (* [x := e] on a module-level ref *)
+              (match (path, args) with
+              | [ ":=" ], (Asttypes.Nolabel, lhs) :: _ -> (
+                  match lhs.Parsetree.pexp_desc with
+                  | Parsetree.Pexp_ident { txt = Longident.Lident v; _ }
+                    when List.mem v st.st_toplevel ->
+                      mutates_global := true
+                  | _ -> ())
+              | _ -> ());
+              (* Rng call classification *)
+              (match rng_member_of_path path with
+              | Some "create" ->
+                  let constant =
+                    match
+                      List.find_opt
+                        (fun (lbl, _) -> lbl = Asttypes.Labelled "seed")
+                        args
+                    with
+                    | Some (_, seed_expr) -> not (mentions_ident seed_expr)
+                    | None -> false
+                  in
+                  st.st_creates <-
+                    { rc_line = line; rc_constant_seed = constant }
+                    :: st.st_creates
+              | Some _ -> (
+                  (* A draw: the generator state is the first positional
+                     argument of every Mppm_util.Rng function. *)
+                  match
+                    List.find_opt
+                      (fun (lbl, _) -> lbl = Asttypes.Nolabel)
+                      args
+                  with
+                  | Some (_, state_arg) -> (
+                      match rng_field_of_arg state_arg with
+                      | Some f -> rng_fields := f :: !rng_fields
+                      | None -> ())
+                  | None -> ())
+              | None -> ());
+              (* S3: float accumulation over unordered Hashtbl iteration *)
+              let closure_has_float_op () =
+                List.exists
+                  (fun (_, a) ->
+                    (is_fun a && expr_contains is_float_op a) || is_float_op a)
+                  args
+              in
+              match List.rev path with
+              | m :: "Hashtbl" :: _ when m = "fold" || m = "iter" ->
+                  if closure_has_float_op () then
+                    st.st_accums <-
+                      { fa_line = line; fa_context = "Hashtbl." ^ m }
+                      :: st.st_accums
+              | m :: _
+                when (m = "fold_left" || m = "fold_right" || m = "fold")
+                     && List.exists
+                          (fun (_, a) ->
+                            applies_hashtbl_to_seq st.st_aliases a)
+                          args
+                     && closure_has_float_op () ->
+                  st.st_accums <-
+                    { fa_line = line; fa_context = "fold over Hashtbl.to_seq" }
+                    :: st.st_accums
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it body;
+  {
+    fn_name;
+    fn_line;
+    calls = List.sort_uniq compare !calls;
+    rng_fields = List.sort_uniq compare !rng_fields;
+    prim_io = List.rev !prim_io;
+    has_rng = !has_rng;
+    mutates_global = !mutates_global;
+    raises = !raises;
+  }
+
+let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* First pass: module-level opens, aliases and value names, recursing into
+   inline submodule structures. *)
+let rec collect_scaffolding st items =
+  List.iter
+    (fun item ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_open od -> (
+          match od.Parsetree.popen_expr.Parsetree.pmod_desc with
+          | Parsetree.Pmod_ident { txt; _ } ->
+              st.st_opens <- flatten txt :: st.st_opens
+          | _ -> ())
+      | Parsetree.Pstr_module mb -> (
+          let rec module_body me =
+            match me.Parsetree.pmod_desc with
+            | Parsetree.Pmod_constraint (me, _) -> module_body me
+            | d -> d
+          in
+          match (mb.Parsetree.pmb_name.Location.txt, module_body mb.Parsetree.pmb_expr) with
+          | Some name, Parsetree.Pmod_ident { txt; _ } ->
+              st.st_aliases <- (name, flatten txt) :: st.st_aliases
+          | _, Parsetree.Pmod_structure items -> collect_scaffolding st items
+          | _ -> ())
+      | Parsetree.Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              st.st_toplevel <-
+                pattern_names vb.Parsetree.pvb_pat @ st.st_toplevel)
+            vbs
+      | _ -> ())
+    items
+
+(* Second pass: one fn summary per top-level binding. *)
+let rec collect_fns st items =
+  List.iter
+    (fun item ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let fn_name =
+                match pattern_names vb.Parsetree.pvb_pat with
+                | name :: _ -> name
+                | [] -> Printf.sprintf "(init:%d)" (line_of_loc vb.Parsetree.pvb_loc)
+              in
+              st.st_fns <-
+                scan_body st ~fn_name
+                  ~fn_line:(line_of_loc vb.Parsetree.pvb_loc)
+                  vb.Parsetree.pvb_expr
+                :: st.st_fns)
+            vbs
+      | Parsetree.Pstr_eval (e, _) ->
+          st.st_fns <-
+            scan_body st
+              ~fn_name:(Printf.sprintf "(init:%d)" (line_of_expr e))
+              ~fn_line:(line_of_expr e) e
+            :: st.st_fns
+      | Parsetree.Pstr_module mb -> (
+          let rec module_body me =
+            match me.Parsetree.pmod_desc with
+            | Parsetree.Pmod_constraint (me, _) -> module_body me
+            | d -> d
+          in
+          match module_body mb.Parsetree.pmb_expr with
+          | Parsetree.Pmod_structure items -> collect_fns st items
+          | _ -> ())
+      | _ -> ())
+    items
+
+let mli_vals_of_signature signature =
+  List.filter_map
+    (fun item ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_value vd ->
+          Some
+            ( vd.Parsetree.pval_name.Location.txt,
+              line_of_loc vd.Parsetree.pval_loc )
+      | _ -> None)
+    signature
+
+let extract ~rel content =
+  let rel = Mppm_lint.Engine.normalize_rel rel in
+  let is_mli = Filename.check_suffix rel ".mli" in
+  let lx = Mppm_lint.Lexer.lex content in
+  let base =
+    {
+      rel;
+      unit_name =
+        String.capitalize_ascii
+          (Filename.remove_extension (Filename.basename rel));
+      dir = Filename.dirname rel;
+      is_mli;
+      parse_failed = false;
+      opens = [];
+      aliases = [];
+      fns = [];
+      refs = [];
+      mli_vals = [];
+      rng_creates = [];
+      float_accums = [];
+      allows = lx.Mppm_lint.Lexer.allows;
+      allow_files = lx.Mppm_lint.Lexer.allow_files;
+    }
+  in
+  if is_mli then
+    match Astparse.interface ~filename:rel content with
+    | Some signature -> { base with mli_vals = mli_vals_of_signature signature }
+    | None -> { base with parse_failed = true }
+  else
+    match Astparse.implementation ~filename:rel content with
+    | Some structure ->
+        let st =
+          {
+            st_opens = [];
+            st_aliases = [];
+            st_toplevel = [];
+            st_fns = [];
+            st_refs = [];
+            st_creates = [];
+            st_accums = [];
+          }
+        in
+        collect_scaffolding st structure;
+        collect_fns st structure;
+        {
+          base with
+          opens = List.rev st.st_opens;
+          aliases = st.st_aliases;
+          fns = List.rev st.st_fns;
+          refs = List.sort_uniq compare st.st_refs;
+          rng_creates = List.rev st.st_creates;
+          float_accums = List.rev st.st_accums;
+        }
+    | None -> { base with parse_failed = true }

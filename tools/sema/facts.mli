@@ -1,0 +1,64 @@
+(** Per-file facts extracted from the compiler-libs parse tree.
+
+    Facts are plain serializable data (no AST nodes), so they can be
+    cached by source fingerprint ({!Cache}) and re-fed to the cross-module
+    passes ({!Effects}, {!Seedflow}, S4 in {!Sema}) without re-parsing.
+    Extraction is purely syntactic; every judgment is a heuristic tuned to
+    be zero-noise on this tree. *)
+
+type fn = {
+  fn_name : string;  (** top-level binding name, or ["(init:<line>)"] *)
+  fn_line : int;
+  calls : string list list;
+      (** every value path referenced inside the body, alias-expanded *)
+  rng_fields : string list;
+      (** record fields passed as the state argument of an [Rng] draw,
+          including draws through a [let v = t.field] local alias *)
+  prim_io : (string * int) list;
+      (** [(primitive, line)] for each direct file/channel-I/O or
+          filesystem primitive the body applies *)
+  has_rng : bool;  (** the body calls into [Mppm_util.Rng] *)
+  mutates_global : bool;
+      (** the body assigns ([:=] or [<-]) a module-level value *)
+  raises : bool;  (** the body applies [raise]/[failwith]/[invalid_arg] *)
+}
+
+type rng_create = {
+  rc_line : int;
+  rc_constant_seed : bool;
+      (** the [~seed] argument mentions no identifier at all — a baked-in
+          literal *)
+}
+
+type float_accum = { fa_line : int; fa_context : string }
+(** An order-sensitive float accumulation site (S3): float arithmetic
+    inside a closure fed to unordered [Hashtbl] iteration. *)
+
+type t = {
+  rel : string;  (** normalized root-relative path *)
+  unit_name : string;  (** capitalized stem, e.g. ["Generator"] *)
+  dir : string;  (** e.g. ["lib/trace"] *)
+  is_mli : bool;
+  parse_failed : bool;
+      (** the compiler-libs parse failed; only the lexer-derived fields
+          ([allows], [allow_files]) are populated *)
+  opens : string list list;  (** [open]ed module paths, file-wide *)
+  aliases : (string * string list) list;  (** [module X = A.B] aliases *)
+  fns : fn list;
+  refs : string list list;  (** every value path referenced in the file *)
+  mli_vals : (string * int) list;  (** [.mli] [val] items: [(name, line)] *)
+  rng_creates : rng_create list;
+  float_accums : float_accum list;
+  allows : (string * int) list;  (** line-scoped suppressions (shared
+      syntax with the token layer) *)
+  allow_files : string list;  (** file-scoped suppressions *)
+}
+
+val unit_key_of_rel : string -> string
+(** The globally unique compilation-unit key of a source path: the path
+    without its extension, so a [.ml]/[.mli] pair shares one key. *)
+
+val extract : rel:string -> string -> t
+(** [extract ~rel content] parses and scans one source file.  Total: on
+    parse failure the result has [parse_failed = true] and carries only
+    the lexer-derived suppression data. *)

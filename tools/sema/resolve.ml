@@ -1,0 +1,115 @@
+(* Cross-module name resolution over the value-reference graph.
+
+   The tree uses dune wrapped libraries, so a cross-library reference
+   looks like [Mppm_util.Rng.int]: the head is the library's alias module
+   (capitalized dune library name), the second element the compilation
+   unit.  Within a library, units refer to each other directly
+   ([Benchmark.validate]), and [open]s and [module X = ...] aliases are
+   applied before resolution (aliases already during facts extraction). *)
+
+type env = {
+  lib_dirs : (string * string) list;
+      (* library alias module -> directory, e.g. "Mppm_util" -> "lib/util" *)
+  unit_dirs : (string * string list) list;
+      (* directory -> unit names defined there, e.g.
+         "lib/util" -> ["Rng"; "Stats"; ...] *)
+}
+
+(* Extract every "(name xxx)" from a dune file, mapping the capitalized
+   name to the dune file's directory. *)
+let dune_names content =
+  let n = String.length content in
+  let needle = "(name " in
+  let k = String.length needle in
+  let rec go i acc =
+    if i + k > n then List.rev acc
+    else if String.sub content i k = needle then begin
+      let j = ref (i + k) in
+      while
+        !j < n
+        &&
+        match content.[!j] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      let name = String.sub content (i + k) (!j - i - k) in
+      go !j (if name = "" then acc else name :: acc)
+    end
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let build ~dunes ~files =
+  let lib_dirs =
+    List.concat_map
+      (fun (rel, content) ->
+        let dir = Filename.dirname rel in
+        List.map
+          (fun name -> (String.capitalize_ascii name, dir))
+          (dune_names content))
+      dunes
+  in
+  let unit_dirs = Hashtbl.create ~random:false 32 in
+  List.iter
+    (fun rel ->
+      if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+      then begin
+        let dir = Filename.dirname rel in
+        let unit_name =
+          String.capitalize_ascii
+            (Filename.remove_extension (Filename.basename rel))
+        in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt unit_dirs dir)
+        in
+        if not (List.mem unit_name existing) then
+          Hashtbl.replace unit_dirs dir (unit_name :: existing)
+      end)
+    files;
+  {
+    lib_dirs;
+    unit_dirs =
+      Hashtbl.fold (fun dir units acc -> (dir, units) :: acc) unit_dirs []
+      |> List.sort compare;
+  }
+
+let unit_exists env ~dir unit_name =
+  match List.assoc_opt dir env.unit_dirs with
+  | Some units -> List.mem unit_name units
+  | None -> false
+
+let key ~dir ~unit_name = dir ^ "/" ^ String.uncapitalize_ascii unit_name
+
+(* The member a resolved path refers to: its last element (which may be a
+   constructor or submodule name; S4 matches it against .mli val names). *)
+let member_of = function [] -> "" | path -> List.nth path (List.length path - 1)
+
+let resolve env (facts : Facts.t) path =
+  match path with
+  | [] | [ _ ] -> None (* unqualified: local or same-unit, never cross-unit *)
+  | head :: rest -> (
+      match List.assoc_opt head env.lib_dirs with
+      | Some dir -> (
+          (* Library-qualified: Mppm_util.Rng.int *)
+          match rest with
+          | unit_name :: more when unit_exists env ~dir unit_name ->
+              Some (key ~dir ~unit_name, member_of (if more = [] then rest else more))
+          | _ -> None)
+      | None ->
+          (* Unit-qualified within the same directory: Benchmark.validate *)
+          if unit_exists env ~dir:facts.Facts.dir head then
+            Some (key ~dir:facts.Facts.dir ~unit_name:head, member_of rest)
+          else
+            (* Through an open: open Mppm_experiments ... Context.predict *)
+            List.find_map
+              (fun open_path ->
+                match open_path with
+                | [ lib_alias ] -> (
+                    match List.assoc_opt lib_alias env.lib_dirs with
+                    | Some dir when unit_exists env ~dir head ->
+                        Some (key ~dir ~unit_name:head, member_of rest)
+                    | _ -> None)
+                | _ -> None)
+              facts.Facts.opens)

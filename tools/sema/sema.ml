@@ -1,0 +1,179 @@
+(* Top-level driver of the AST analysis layer.
+
+   Extraction (per file, cacheable) feeds four cross-checks: S1 effect
+   containment (Effects), S2 seed-flow (Seedflow), S3 order-sensitive
+   float accumulation and S4 dead exports (here).  Suppression reuses the
+   token layer's [(* lint: allow ... *)] semantics via Engine.suppress,
+   so one comment silences findings from either layer. *)
+
+module Diag = Mppm_lint.Diag
+module Engine = Mppm_lint.Engine
+module Rules = Mppm_lint.Rules
+
+type input = { rel : string; content : string }
+
+type report = {
+  diags : Diag.t list;
+  parses : int;
+  cache_hits : int;
+  fallbacks : int;
+  summaries : (string * string * string) list;
+}
+
+let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
+
+(* S3: float accumulation over unordered Hashtbl iteration.  Iteration
+   order depends on the hash layout, so a float sum folded over it is not
+   reproducible across table histories — an error in lib/, a warning in
+   executable and test code. *)
+let s3 facts_list =
+  List.concat_map
+    (fun (f : Facts.t) ->
+      List.map
+        (fun (fa : Facts.float_accum) ->
+          {
+            Diag.file = f.Facts.rel;
+            line = fa.Facts.fa_line;
+            rule = "S3";
+            severity =
+              (if in_lib f.Facts.rel then Diag.Error else Diag.Warning);
+            message =
+              Printf.sprintf
+                "float accumulation over unordered %s; iteration order is \
+                 not deterministic — accumulate over a sorted projection \
+                 instead"
+                fa.Facts.fa_context;
+          })
+        f.Facts.float_accums)
+    facts_list
+
+(* S4: lib/ .mli exports referenced by no other compilation unit.  Uses
+   are collected from every scanned file's alias-expanded value paths;
+   unqualified names in a file that [open]s a unit count as potential
+   uses of that unit (an over-approximation, so S4 under-reports rather
+   than false-positives). *)
+let s4 env facts_list =
+  let used : (string * string, unit) Hashtbl.t =
+    Hashtbl.create ~random:false 1024
+  in
+  List.iter
+    (fun (f : Facts.t) ->
+      if not f.Facts.parse_failed then begin
+        let self = Facts.unit_key_of_rel f.Facts.rel in
+        let opened_units =
+          List.filter_map
+            (fun open_path ->
+              match Resolve.resolve env f (open_path @ [ "_" ]) with
+              | Some (u, _) when u <> self -> Some u
+              | _ -> None)
+            f.Facts.opens
+        in
+        List.iter
+          (fun path ->
+            match path with
+            | [ name ] ->
+                List.iter
+                  (fun u -> Hashtbl.replace used (u, name) ())
+                  opened_units
+            | _ -> (
+                match Resolve.resolve env f path with
+                | Some (u, m) when u <> self -> Hashtbl.replace used (u, m) ()
+                | _ -> ()))
+          f.Facts.refs
+      end)
+    facts_list;
+  List.concat_map
+    (fun (f : Facts.t) ->
+      if
+        f.Facts.is_mli && in_lib f.Facts.rel && not f.Facts.parse_failed
+      then
+        let self = Facts.unit_key_of_rel f.Facts.rel in
+        List.filter_map
+          (fun (name, line) ->
+            if Hashtbl.mem used (self, name) then None
+            else
+              Some
+                {
+                  Diag.file = f.Facts.rel;
+                  line;
+                  rule = "S4";
+                  severity = Diag.Warning;
+                  message =
+                    Printf.sprintf
+                      "val %s is exported but referenced by no other \
+                       compilation unit; drop it from the .mli or mark the \
+                       intent with an allow comment"
+                      name;
+                })
+          f.Facts.mli_vals
+      else [])
+    facts_list
+
+let analyze ?cache_file ~dunes inputs =
+  let cache =
+    match cache_file with Some p -> Cache.load p | None -> Cache.create ()
+  in
+  let parses = ref 0 and hits = ref 0 and fallbacks = ref 0 in
+  let facts_list =
+    List.map
+      (fun { rel; content } ->
+        let rel = Engine.normalize_rel rel in
+        let k = Cache.key ~rel content in
+        match Cache.find cache k with
+        | Some f ->
+            incr hits;
+            f
+        | None ->
+            incr parses;
+            let f = Facts.extract ~rel content in
+            if f.Facts.parse_failed then incr fallbacks;
+            Cache.add cache k f;
+            f)
+      inputs
+  in
+  (match cache_file with Some p -> Cache.store p cache | None -> ());
+  let env =
+    Resolve.build ~dunes
+      ~files:(List.map (fun (f : Facts.t) -> f.Facts.rel) facts_list)
+  in
+  let raw =
+    Effects.check env facts_list
+    @ Seedflow.check facts_list
+    @ s3 facts_list
+    @ s4 env facts_list
+  in
+  let allows_of : (string, (string * int) list * string list) Hashtbl.t =
+    Hashtbl.create ~random:false 256
+  in
+  List.iter
+    (fun (f : Facts.t) ->
+      Hashtbl.replace allows_of f.Facts.rel
+        (f.Facts.allows, f.Facts.allow_files))
+    facts_list;
+  let diags =
+    List.filter
+      (fun d ->
+        match Hashtbl.find_opt allows_of d.Diag.file with
+        | Some (allows, allow_files) ->
+            Engine.suppress ~allows ~allow_files [ d ] <> []
+        | None -> true)
+      raw
+    |> List.sort Diag.compare
+  in
+  {
+    diags;
+    parses = !parses;
+    cache_hits = !hits;
+    fallbacks = !fallbacks;
+    summaries = Effects.summaries env facts_list;
+  }
+
+let analyze_tree ?cache_file ~root () =
+  let files = Engine.collect_tree ~root in
+  let dunes, sources =
+    List.partition (fun rel -> Filename.basename rel = "dune") files
+  in
+  let read rel = Engine.read_file (Filename.concat root rel) in
+  let dunes = List.map (fun rel -> (rel, read rel)) dunes in
+  let inputs = List.map (fun rel -> { rel; content = read rel }) sources in
+  analyze ?cache_file ~dunes inputs

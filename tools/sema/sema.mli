@@ -1,0 +1,38 @@
+(** The AST analysis layer: semantic rules S1-S4 over compiler-libs
+    parse trees.
+
+    Per-file {!Facts} extraction (cacheable by content fingerprint via
+    {!Cache}) feeds four cross-module checks: S1 effect containment
+    ({!Effects}), S2 seed-flow ({!Seedflow}), S3 order-sensitive float
+    accumulation over unordered [Hashtbl] iteration, and S4 dead [.mli]
+    exports.  Findings share the token layer's suppression comments:
+    [(* lint: allow S1 *)] on (or above) the line, or
+    [(* lint: allow-file S1 *)] anywhere in the file. *)
+
+type input = { rel : string;  (** root-relative path *)
+               content : string  (** full source text *) }
+(** One source file handed to {!analyze}. *)
+
+type report = {
+  diags : Mppm_lint.Diag.t list;  (** suppression-filtered, sorted *)
+  parses : int;  (** files actually parsed this run *)
+  cache_hits : int;  (** files served from the facts cache *)
+  fallbacks : int;  (** files where the compiler-libs parse failed and
+      only lexer-derived facts are available *)
+  summaries : (string * string * string) list;
+      (** [(file, function, effects)] transitive effect summaries *)
+}
+(** The outcome of one analysis run. *)
+
+val analyze :
+  ?cache_file:string -> dunes:(string * string) list -> input list -> report
+(** [analyze ?cache_file ~dunes inputs] runs the full AST layer over the
+    given sources.  [dunes] are the tree's dune files ([(rel, content)]),
+    used to map wrapped-library alias modules to directories.  When
+    [cache_file] is given, per-file facts are loaded from and persisted
+    to it, so a second run over unchanged sources reports zero
+    [parses]. *)
+
+val analyze_tree : ?cache_file:string -> root:string -> unit -> report
+(** Convenience wrapper: collect the tree with
+    {!Mppm_lint.Engine.collect_tree}, read every file and {!analyze}. *)
