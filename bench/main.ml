@@ -28,6 +28,8 @@ module Profile = Mppm_profile.Profile
 module Stats = Mppm_util.Stats
 module Mix = Mppm_workload.Mix
 module Sampler = Mppm_workload.Sampler
+module Pool = Mppm_pool.Pool
+module Single_flight = Mppm_pool.Single_flight
 open Mppm_experiments
 
 let section title =
@@ -45,18 +47,27 @@ let phase name f =
   result
 
 (* A per-mix callback for Accuracy.evaluate: one carriage-return progress
-   line with elapsed time and a linear ETA. *)
+   line with elapsed time and a linear ETA.  Pool workers complete tasks
+   out of order, so every reporter funnels through one mutex and [done_]
+   counts completed tasks (monotonic) rather than task indices — the \r
+   line never interleaves or runs backwards. *)
+let progress_mutex = Mutex.create ()
+
 let progress_eta label =
   let t0 = Unix.gettimeofday () in
   fun ~done_ ~total ->
-    let elapsed = Unix.gettimeofday () -. t0 in
-    let eta =
-      if done_ = 0 then 0.0
-      else elapsed /. float_of_int done_ *. float_of_int (total - done_)
-    in
-    Printf.printf "\r%-24s %3d/%d mixes  %4.0fs elapsed  ETA %4.0fs %!" label
-      done_ total elapsed eta;
-    if done_ >= total then print_newline ()
+    Mutex.lock progress_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock progress_mutex)
+      (fun () ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let eta =
+          if done_ = 0 then 0.0
+          else elapsed /. float_of_int done_ *. float_of_int (total - done_)
+        in
+        Printf.printf "\r%-24s %3d/%d mixes  %4.0fs elapsed  ETA %4.0fs %!"
+          label done_ total elapsed eta;
+        if done_ >= total then print_newline ())
 
 (* Optional CSV export of figure data (--csv DIR). *)
 let csv_dir : string option ref = ref None
@@ -87,9 +98,9 @@ let run_tables () =
   Tables.pp_table1 std Core_model.default;
   Tables.pp_table2 std ()
 
-let run_fig3 ctx ~mixes =
+let run_fig3 ctx ~pool ~mixes =
   section "Fig. 3: variability vs number of workload mixes";
-  let t = Variability.run ctx ~max_mixes:(max 150 mixes) ~step:10 () in
+  let t = Variability.run ctx ~pool ~max_mixes:(max 150 mixes) ~step:10 () in
   Variability.pp std t;
   csv_write "fig3_variability.csv"
     "mixes,stp_mean,stp_half_width,antt_mean,antt_half_width"
@@ -112,15 +123,15 @@ let run_fig3 ctx ~mixes =
          ("ANTT", rel (fun p -> p.Variability.antt));
        ])
 
-let run_accuracy ctx ~mixes ~sixteen_core_mixes =
+let run_accuracy ctx ~pool ~mixes ~sixteen_core_mixes =
   section "Fig. 4 & 5: MPPM accuracy vs detailed simulation";
   let runs =
     List.map
       (fun cores ->
         let label = Printf.sprintf "%d cores" cores in
         phase label (fun () ->
-            Accuracy.evaluate ~on_mix:(progress_eta label) ctx ~llc_config:1
-              ~cores ~count:mixes))
+            Accuracy.evaluate ~on_mix:(progress_eta label) ~pool ctx
+              ~llc_config:1 ~cores ~count:mixes))
       [ 2; 4; 8 ]
   in
   let runs =
@@ -128,8 +139,8 @@ let run_accuracy ctx ~mixes ~sixteen_core_mixes =
       let label = "16 cores (config #4)" in
       let run =
         phase label (fun () ->
-            Accuracy.evaluate ~on_mix:(progress_eta label) ctx ~llc_config:4
-              ~cores:16 ~count:sixteen_core_mixes)
+            Accuracy.evaluate ~on_mix:(progress_eta label) ~pool ctx
+              ~llc_config:4 ~cores:16 ~count:sixteen_core_mixes)
       in
       runs @ [ run ]
     end
@@ -202,12 +213,12 @@ let run_fig6 ctx (four_core : Accuracy.run) =
   Format.fprintf std "@.the paper's mix (2x gamess + hmmer + soplex):@.";
   Accuracy.pp_cpi_rows std (Accuracy.cpi_rows eval)
 
-let run_fig7_8 ctx ~paper_scale =
+let run_fig7_8 ctx ~pool ~paper_scale =
   section "Fig. 7 & 8: debunking current practice";
   let options =
     if paper_scale then Ranking.paper_options else Ranking.default_options
   in
-  let t = phase "ranking" (fun () -> Ranking.run ctx options) in
+  let t = phase "ranking" (fun () -> Ranking.run ~pool ctx options) in
   Ranking.pp_fig7 std t;
   Format.pp_print_newline std ();
   Ranking.pp_fig8 std t
@@ -234,12 +245,12 @@ let run_speed ctx =
   Speed.pp std (Speed.measure ctx ())
 
 (* Ablations over the design choices DESIGN.md calls out. *)
-let run_ablation ctx ~mixes =
+let run_ablation ctx ~pool ~mixes =
   section "Ablations: contention model, update rule, smoothing, L";
   let cores = 4 in
   let rng = Context.rng ctx "ablation" in
   let sample = Sampler.random_mixes rng ~cores ~count:(max 8 (mixes / 4)) in
-  let measured = Array.map (Context.detailed ctx ~llc_config:1) sample in
+  let measured = Pool.map pool (Context.detailed ctx ~llc_config:1) sample in
   let eval_params params label =
     let profiles mix =
       Array.map (fun i -> Context.profile ctx ~llc_config:1 i) (Mix.indices mix)
@@ -304,7 +315,7 @@ let run_ablation ctx ~mixes =
    model; here the detailed simulator enforces 2-way quotas per core and
    MPPM predicts with the Way_partition model (with plain FOA shown as the
    mismatched-model baseline). *)
-let run_partition ctx ~mixes =
+let run_partition ctx ~pool ~mixes =
   section "Extension: way-partitioned LLC";
   let cores = 4 in
   (* Deliberately asymmetric quotas: a frequency-proportional model (FOA)
@@ -313,7 +324,8 @@ let run_partition ctx ~mixes =
   let rng = Context.rng ctx "partition" in
   let sample = Sampler.random_mixes rng ~cores ~count:(max 8 (mixes / 5)) in
   let measured =
-    Array.map (Context.detailed ~llc_partition:quotas ctx ~llc_config:1) sample
+    Pool.map pool (Context.detailed ~llc_partition:quotas ctx ~llc_config:1)
+      sample
   in
   let base = Context.model_params ctx in
   let eval contention label =
@@ -348,17 +360,17 @@ let run_partition ctx ~mixes =
    #6 (2MB 16-way) folds to #3 (1MB 8-way).  The SDCs derive exactly; the
    timing fields keep the profiled machine's latencies, so this section
    quantifies the end-to-end prediction error of using derived profiles. *)
-let run_derivation ctx ~mixes =
+let run_derivation ctx ~pool ~mixes =
   section "Extension: reduced-associativity profile derivation";
   let rng = Context.rng ctx "derivation" in
   let sample = Sampler.random_mixes rng ~cores:4 ~count:(max 10 (mixes / 4)) in
   List.iter
     (fun (src, dst) ->
-      let direct = Context.all_profiles ctx ~llc_config:dst in
+      let direct = Context.all_profiles ~pool ctx ~llc_config:dst in
       let derived =
         Array.map
           (fun p -> Profile.reduce_associativity p ~assoc:8)
-          (Context.all_profiles ctx ~llc_config:src)
+          (Context.all_profiles ~pool ctx ~llc_config:src)
       in
       let mpki_err =
         Stats.mean_relative_error
@@ -386,7 +398,7 @@ let run_derivation ctx ~mixes =
    simulator serializes all LLC misses over one memory channel; MPPM adds
    an M/D/1 queueing term on top of FOA.  Profiles are re-collected with a
    private channel so isolated CPIs carry their own self-queueing. *)
-let run_bandwidth ctx ~mixes =
+let run_bandwidth ctx ~pool ~mixes =
   section "Extension: memory bandwidth sharing";
   let transfer_cycles = 16.0 in
   let cores = 4 in
@@ -394,22 +406,21 @@ let run_bandwidth ctx ~mixes =
   let hierarchy = Context.hierarchy ctx ~llc_config:1 in
   let rng = Context.rng ctx "bandwidth" in
   let sample = Sampler.random_mixes rng ~cores ~count:(max 6 (mixes / 6)) in
-  let profile_table : (string, Profile.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Bandwidth profiles are re-collected with a private channel, outside
+     the context's cache; a single-flight table keeps concurrent workers
+     from computing one benchmark's profile twice. *)
+  let profile_table : (string, Profile.t) Single_flight.t =
+    Single_flight.create ()
+  in
   let bw_profile name =
-    match Hashtbl.find_opt profile_table name with
-    | Some p -> p
-    | None ->
-        let p =
-          Mppm_simcore.Single_core.profile
-            (Mppm_simcore.Single_core.config ~bandwidth:transfer_cycles
-               hierarchy)
-            ~benchmark:(Mppm_trace.Suite.find name)
-            ~seed:(Mppm_trace.Suite.seed_for name)
-            ~trace_instructions:scale.Scale.trace_instructions
-            ~interval_instructions:scale.Scale.interval_instructions
-        in
-        Hashtbl.add profile_table name p;
-        p
+    Single_flight.get profile_table name (fun name ->
+        Mppm_simcore.Single_core.profile
+          (Mppm_simcore.Single_core.config ~bandwidth:transfer_cycles
+             hierarchy)
+          ~benchmark:(Mppm_trace.Suite.find name)
+          ~seed:(Mppm_trace.Suite.seed_for name)
+          ~trace_instructions:scale.Scale.trace_instructions
+          ~interval_instructions:scale.Scale.interval_instructions)
   in
   let offsets = Mppm_multicore.Multi_core.default_offsets ~seed:(Context.seed ctx) 16 in
   let detailed mix =
@@ -438,7 +449,7 @@ let run_bandwidth ctx ~mixes =
     ( Metrics.stp ~cpi_single ~cpi_multi,
       Metrics.antt ~cpi_single ~cpi_multi )
   in
-  let measured = Array.map detailed sample in
+  let measured = Pool.map pool detailed sample in
   let base = Context.model_params ctx in
   let eval params label =
     let predicted =
@@ -679,7 +690,7 @@ let all_sections =
     "cophase"; "simpoint"; "micro";
   ]
 
-let run trace mixes seed cache_dir only paper_scale csv =
+let run trace mixes seed cache_dir only paper_scale csv jobs =
   (match List.filter (fun s -> not (List.mem s all_sections)) only with
   | [] -> ()
   | unknown ->
@@ -690,16 +701,18 @@ let run trace mixes seed cache_dir only paper_scale csv =
   csv_dir := csv;
   let scale = Scale.of_trace trace in
   let ctx = Context.create ~seed ~cache_dir scale in
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  Pool.with_pool ~jobs @@ fun pool ->
   let wants name = List.mem name only in
   let timed name f = phase ("section " ^ name) f in
   Format.fprintf std "MPPM benchmark harness: %a, seed %d@." Scale.pp scale
     seed;
   if wants "table1" || wants "table2" then run_tables ();
-  if wants "fig3" then timed "fig3" (fun () -> run_fig3 ctx ~mixes);
+  if wants "fig3" then timed "fig3" (fun () -> run_fig3 ctx ~pool ~mixes);
   let accuracy_runs =
     if wants "fig4" || wants "fig5" || wants "fig6" || wants "fig9" then
       timed "fig4+fig5" (fun () ->
-          run_accuracy ctx ~mixes
+          run_accuracy ctx ~pool ~mixes
             ~sixteen_core_mixes:(if paper_scale then 25 else max 3 (mixes / 8)))
     else []
   in
@@ -712,15 +725,16 @@ let run trace mixes seed cache_dir only paper_scale csv =
       if wants "fig9" then timed "fig9" (fun () -> run_fig9 run)
   | None -> ());
   if wants "fig7" || wants "fig8" then
-    timed "fig7+fig8" (fun () -> run_fig7_8 ctx ~paper_scale);
+    timed "fig7+fig8" (fun () -> run_fig7_8 ctx ~pool ~paper_scale);
   if wants "speed" then timed "speed" (fun () -> run_speed ctx);
-  if wants "ablation" then timed "ablation" (fun () -> run_ablation ctx ~mixes);
+  if wants "ablation" then
+    timed "ablation" (fun () -> run_ablation ctx ~pool ~mixes);
   if wants "derivation" then
-    timed "derivation" (fun () -> run_derivation ctx ~mixes);
+    timed "derivation" (fun () -> run_derivation ctx ~pool ~mixes);
   if wants "partition" then
-    timed "partition" (fun () -> run_partition ctx ~mixes);
+    timed "partition" (fun () -> run_partition ctx ~pool ~mixes);
   if wants "bandwidth" then
-    timed "bandwidth" (fun () -> run_bandwidth ctx ~mixes);
+    timed "bandwidth" (fun () -> run_bandwidth ctx ~pool ~mixes);
   if wants "cophase" then timed "cophase" (fun () -> run_cophase ctx ~mixes);
   if wants "simpoint" then timed "simpoint" (fun () -> run_simpoint ctx ~mixes);
   if wants "micro" then timed "micro" (fun () -> run_micro ctx);
@@ -765,12 +779,22 @@ let csv =
     & info [ "csv" ] ~doc:"Also export figure data as CSV files into $(docv)."
         ~docv:"DIR")
 
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains for mix populations (0 = \
+           Domain.recommended_domain_count).  Results are bit-for-bit \
+           identical for any value.")
+
 let cmd =
   let doc = "Regenerate the tables and figures of the MPPM paper." in
   Cmd.v
     (Cmd.info "mppm-bench" ~doc)
     Term.(
-      const run $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv)
+      const run $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv
+      $ jobs)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -25,6 +25,7 @@ module Model = Mppm_core.Model
 module Metrics = Mppm_core.Metrics
 module Mix = Mppm_workload.Mix
 module Sampler = Mppm_workload.Sampler
+module Pool = Mppm_pool.Pool
 open Mppm_experiments
 
 let std = Format.std_formatter
@@ -65,7 +66,32 @@ let mix_arg =
     non_empty
     & pos_all string []
     & info [] ~docv:"BENCHMARK"
-        ~doc:"Benchmark names forming the mix (repeat a name for copies).")
+        ~doc:
+          "Benchmark names forming the mix (repeat a name for copies).  If \
+           any argument contains a comma, each argument is its own \
+           comma-separated mix and they are evaluated as a batch (see \
+           --jobs).")
+
+(* Plain names form one mix; comma syntax makes each argument a mix of
+   its own ("a,b,c,d e,f,g,h" is two quad-core mixes). *)
+let parse_mixes names =
+  if List.exists (fun s -> String.contains s ',') names then
+    List.map
+      (fun s ->
+        Mix.of_names
+          (Array.of_list
+             (List.filter (fun x -> x <> "") (String.split_on_char ',' s))))
+      names
+  else [ Mix.of_names (Array.of_list names) ]
+
+let jobs_term =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains when several mixes are given (0 = \
+           Domain.recommended_domain_count).  Results and traces are \
+           bit-for-bit identical for any value.")
 
 (* ---- trace output -------------------------------------------------- *)
 
@@ -115,14 +141,47 @@ let trace_term =
   in
   Term.(const (fun file format -> (file, format)) $ file $ format)
 
-(* Run [f] with a trace handle per the --trace/--trace-format options;
-   Trace.null when no file was requested (the zero-cost default). *)
-let with_obs (file, format) f =
-  match file with
-  | None -> f Obs_trace.null
+(* Evaluate [f ~obs mix] for every mix on a domain pool.  Each task
+   buffers its trace events in a per-mix memory sink; after the batch the
+   buffers are replayed into the --trace file in mix order, so the file
+   is byte-identical to a sequential run's regardless of --jobs.  A
+   single mix skips the extra domains entirely. *)
+let eval_mixes trace jobs mixes f =
+  let mixes = Array.of_list mixes in
+  let jobs =
+    if Array.length mixes = 1 then 1
+    else if jobs <= 0 then Pool.default_jobs ()
+    else jobs
+  in
+  let tracing = fst trace <> None in
+  let outcomes =
+    Pool.with_pool ~jobs @@ fun pool ->
+    Pool.map pool
+      (fun mix ->
+        if tracing then begin
+          let sink, events = Obs_sink.memory () in
+          let obs = Obs_trace.of_sink sink in
+          let r =
+            Fun.protect
+              ~finally:(fun () -> Obs_trace.close obs)
+              (fun () -> f ~obs mix)
+          in
+          (r, events ())
+        end
+        else (f ~obs:Obs_trace.null mix, []))
+      mixes
+  in
+  (match fst trace with
+  | None -> ()
   | Some path ->
-      let obs = Obs_trace.of_sink (file_sink path format) in
-      Fun.protect ~finally:(fun () -> Obs_trace.close obs) (fun () -> f obs)
+      let sink = file_sink path (snd trace) in
+      Fun.protect
+        ~finally:(fun () -> Obs_sink.close sink)
+        (fun () ->
+          Array.iter
+            (fun (_, evs) -> List.iter (Obs_sink.emit sink) evs)
+            outcomes));
+  Array.map fst outcomes
 
 let verbose_term =
   Arg.(
@@ -185,18 +244,31 @@ let pp_predicted result =
     result.Model.antt
 
 let predict_cmd =
-  let run common trace verbose names =
-    let mix = Mix.of_names (Array.of_list names) in
-    let result =
-      with_obs trace (fun obs ->
+  let run common trace verbose jobs names =
+    let mixes = parse_mixes names in
+    let results =
+      eval_mixes trace jobs mixes (fun ~obs mix ->
           Context.predict ~obs common.ctx ~llc_config:common.llc_config mix)
     in
-    pp_predicted result;
+    let many = Array.length results > 1 in
+    Array.iteri
+      (fun i result ->
+        if many then
+          Format.fprintf std "%s== mix %s ==@."
+            (if i > 0 then "\n" else "")
+            (Mix.to_string (List.nth mixes i));
+        pp_predicted result)
+      results;
     if verbose then pp_cache_counters ()
   in
   Cmd.v
-    (Cmd.info "predict" ~doc:"Predict a mix's multi-core performance with MPPM.")
-    Term.(const run $ common_term $ trace_term $ verbose_term $ mix_arg)
+    (Cmd.info "predict"
+       ~doc:
+         "Predict multi-core performance with MPPM.  Plain names form one \
+          mix; comma-separated arguments are evaluated as a batch of mixes \
+          (in parallel with --jobs).")
+    Term.(const run $ common_term $ trace_term $ verbose_term $ jobs_term
+          $ mix_arg)
 
 let pp_measured (m : Context.measured) =
   Format.fprintf std "detailed simulation:@.";
@@ -220,25 +292,42 @@ let simulate_cmd =
     Term.(const run $ common_term $ mix_arg)
 
 let compare_cmd =
-  let run common trace verbose names =
-    let mix = Mix.of_names (Array.of_list names) in
-    let predicted =
-      with_obs trace (fun obs ->
-          Context.predict ~obs common.ctx ~llc_config:common.llc_config mix)
+  let run common trace verbose jobs names =
+    let mixes = parse_mixes names in
+    let results =
+      eval_mixes trace jobs mixes (fun ~obs mix ->
+          let predicted =
+            Context.predict ~obs common.ctx ~llc_config:common.llc_config mix
+          in
+          let measured =
+            Context.detailed common.ctx ~llc_config:common.llc_config mix
+          in
+          (predicted, measured))
     in
-    let measured = Context.detailed common.ctx ~llc_config:common.llc_config mix in
-    pp_predicted predicted;
-    pp_measured measured;
-    let err p m = 100.0 *. abs_float (p -. m) /. m in
-    Format.fprintf std "errors: STP %.1f%%  ANTT %.1f%%@."
-      (err predicted.Model.stp measured.Context.m_stp)
-      (err predicted.Model.antt measured.Context.m_antt);
+    let many = Array.length results > 1 in
+    Array.iteri
+      (fun i (predicted, measured) ->
+        if many then
+          Format.fprintf std "%s== mix %s ==@."
+            (if i > 0 then "\n" else "")
+            (Mix.to_string (List.nth mixes i));
+        pp_predicted predicted;
+        pp_measured measured;
+        let err p m = 100.0 *. abs_float (p -. m) /. m in
+        Format.fprintf std "errors: STP %.1f%%  ANTT %.1f%%@."
+          (err predicted.Model.stp measured.Context.m_stp)
+          (err predicted.Model.antt measured.Context.m_antt))
+      results;
     if verbose then pp_cache_counters ()
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Predict and simulate a mix; report the prediction error.")
-    Term.(const run $ common_term $ trace_term $ verbose_term $ mix_arg)
+       ~doc:
+         "Predict and simulate mixes; report the prediction error.  \
+          Comma-separated arguments are evaluated as a batch of mixes (in \
+          parallel with --jobs).")
+    Term.(const run $ common_term $ trace_term $ verbose_term $ jobs_term
+          $ mix_arg)
 
 (* ---- population ------------------------------------------------------ *)
 
@@ -384,8 +473,9 @@ let cache_stats_cmd =
     match Context.scan_cache common.ctx with
     | None -> Format.fprintf std "no profile cache directory configured@."
     | Some r ->
+        let n_tmp = List.length r.Context.cr_tmp in
         Format.fprintf std
-          "profile cache: %d live, %d stale, %d foreign entr%s@."
+          "profile cache: %d live, %d stale, %d foreign entr%s%s@."
           (List.length r.Context.cr_live)
           (List.length r.Context.cr_stale)
           (List.length r.Context.cr_foreign)
@@ -395,31 +485,37 @@ let cache_stats_cmd =
              + List.length r.Context.cr_foreign
              = 1
            then "y"
-           else "ies");
+           else "ies")
+          (if n_tmp = 0 then ""
+           else Printf.sprintf ", %d orphaned .tmp" n_tmp);
         List.iter
           (fun f -> Format.fprintf std "  stale: %s@." f)
-          r.Context.cr_stale
+          r.Context.cr_stale;
+        List.iter (fun f -> Format.fprintf std "  tmp: %s@." f) r.Context.cr_tmp
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Classify the profile cache: live entries (fingerprint matches a \
           current benchmark/config), stale entries (recognized name but \
-          outdated fingerprint), foreign files.")
+          outdated fingerprint), foreign files, and orphaned .tmp staging \
+          files left by interrupted writes.")
     Term.(const run $ common_term)
 
 let cache_prune_cmd =
   let run common =
     let deleted = Context.prune_cache common.ctx in
     List.iter (fun f -> Format.fprintf std "deleted %s@." f) deleted;
-    Format.fprintf std "%d stale entr%s pruned@." (List.length deleted)
+    Format.fprintf std "%d stale or orphaned entr%s pruned@."
+      (List.length deleted)
       (if List.length deleted = 1 then "y" else "ies")
   in
   Cmd.v
     (Cmd.info "prune"
        ~doc:
          "Delete profile-cache entries whose fingerprint no longer matches \
-          any known benchmark/config pair.  Live and foreign files are kept.")
+          any known benchmark/config pair, plus orphaned .tmp staging files \
+          from interrupted writes.  Live and foreign files are kept.")
     Term.(const run $ common_term)
 
 let cache_cmd =

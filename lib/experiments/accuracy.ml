@@ -18,25 +18,32 @@ type run = {
   slowdown_error : float;
 }
 
-let evaluate ?on_mix ctx ~llc_config ~cores ~count =
+let evaluate ?on_mix ?pool ctx ~llc_config ~cores ~count =
+  (* All sampling happens here, before any task runs: each task closes
+     over its pre-drawn mix, so the population (and every result) is
+     independent of the job count. *)
   let rng = Context.rng ctx (Printf.sprintf "accuracy-%d-%d" llc_config cores) in
   let mixes = Sampler.random_mixes rng ~cores ~count in
   let total = Array.length mixes in
+  let eval_mix mix =
+    {
+      mix;
+      measured = Context.detailed ctx ~llc_config mix;
+      predicted = Context.predict ctx ~llc_config mix;
+    }
+  in
   let evals =
-    Array.mapi
-      (fun i mix ->
-        let eval =
-          {
-            mix;
-            measured = Context.detailed ctx ~llc_config mix;
-            predicted = Context.predict ctx ~llc_config mix;
-          }
-        in
-        (match on_mix with
-        | Some f -> f ~done_:(i + 1) ~total
-        | None -> ());
-        eval)
-      mixes
+    match pool with
+    | Some pool -> Mppm_pool.Pool.map ?on_done:on_mix pool eval_mix mixes
+    | None ->
+        Array.mapi
+          (fun i mix ->
+            let eval = eval_mix mix in
+            (match on_mix with
+            | Some f -> f ~done_:(i + 1) ~total
+            | None -> ());
+            eval)
+          mixes
   in
   let collect f = Array.map f evals in
   let stp_error =

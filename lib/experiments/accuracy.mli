@@ -20,6 +20,7 @@ type run = {
 
 val evaluate :
   ?on_mix:(done_:int -> total:int -> unit) ->
+  ?pool:Mppm_pool.Pool.t ->
   Context.t ->
   llc_config:int ->
   cores:int ->
@@ -30,7 +31,10 @@ val evaluate :
     #4), runs detailed simulation and MPPM on each, and aggregates the
     errors.  [on_mix], if given, is called after each mix with the number
     completed so far — progress reporting lives in the caller; the
-    library never prints. *)
+    library never prints.  [pool] evaluates the mixes in parallel: the
+    whole population is drawn before any task runs and results are
+    positional, so the run is bit-for-bit identical to the sequential
+    one; [on_mix] is then serialized under the pool's mutex. *)
 
 val scatter_stp : run -> (float * float) array
 (** (predicted, measured) STP pairs — the dots of Fig. 4(a). *)

@@ -11,6 +11,8 @@ module Mix = Mppm_workload.Mix
 module Category = Mppm_workload.Category
 module Fingerprint = Mppm_util.Fingerprint
 module Registry = Mppm_obs.Registry
+module Pool = Mppm_pool.Pool
+module Single_flight = Mppm_pool.Single_flight
 
 type t = {
   scale : Scale.t;
@@ -20,7 +22,7 @@ type t = {
   smoothing : float;
   seed : int;
   cache_dir : string option;
-  profiles : (int * int, Profile.t) Hashtbl.t;  (* (llc_config, bench) *)
+  profiles : (int * int, Profile.t) Single_flight.t;  (* (llc_config, bench) *)
   offsets : int array;  (* per-core-slot address offsets *)
 }
 
@@ -41,7 +43,7 @@ let create ?(core = Core_model.default)
     smoothing = model_smoothing;
     seed;
     cache_dir;
-    profiles = Hashtbl.create ~random:false 64;
+    profiles = Single_flight.create ~metric:"profile_cache" ();
     offsets = Multi_core.default_offsets ~seed max_cores;
   }
 
@@ -120,37 +122,32 @@ let stale_siblings t ~llc_config bench_index =
         0 (Sys.readdir dir)
   | _ -> 0
 
+(* The memo table is a single-flight front (one computation per key,
+   shared by concurrent pool workers); memo hits keep their historical
+   counter name through the table's [~metric]. *)
 let profile t ~llc_config bench_index =
   if bench_index < 0 || bench_index >= Suite.count then
     invalid_arg "Context.profile: bad benchmark index";
-  let key = (llc_config, bench_index) in
-  match Hashtbl.find_opt t.profiles key with
-  | Some p ->
-      Registry.incr "profile_cache.memo_hits";
-      p
-  | None ->
-      let p =
-        match cache_path t ~llc_config bench_index with
-        | Some path when Sys.file_exists path ->
-            Registry.incr "profile_cache.hits";
-            Profile.load path
-        | Some path ->
-            Registry.incr "profile_cache.misses";
-            Registry.add "profile_cache.stale"
-              (float_of_int (stale_siblings t ~llc_config bench_index));
-            let p = compute_profile t ~llc_config bench_index in
-            Profile.save p path;
-            p
-        | None ->
-            Registry.incr "profile_cache.misses";
-            compute_profile t ~llc_config bench_index
-      in
-      Hashtbl.add t.profiles key p;
-      p
+  Single_flight.get t.profiles (llc_config, bench_index) (fun _ ->
+      match cache_path t ~llc_config bench_index with
+      | Some path when Sys.file_exists path ->
+          Registry.incr "profile_cache.hits";
+          Profile.load path
+      | Some path ->
+          Registry.incr "profile_cache.misses";
+          Registry.add "profile_cache.stale"
+            (float_of_int (stale_siblings t ~llc_config bench_index));
+          let p = compute_profile t ~llc_config bench_index in
+          Profile.save p path;
+          p
+      | None ->
+          Registry.incr "profile_cache.misses";
+          compute_profile t ~llc_config bench_index)
 
 type cache_report = {
   cr_live : string list;
   cr_stale : string list;
+  cr_tmp : string list;
   cr_foreign : string list;
 }
 
@@ -185,17 +182,23 @@ let scan_cache t =
       Array.sort compare files;
       Array.fold_left
         (fun report f ->
-          if Hashtbl.mem live_names f then
+          if Filename.check_suffix f ".tmp" then
+            (* An orphaned atomic-write staging file: Profile.save renames
+               these away on success, so a survivor is an interrupted
+               writer's leftover. *)
+            { report with cr_tmp = f :: report.cr_tmp }
+          else if Hashtbl.mem live_names f then
             { report with cr_live = f :: report.cr_live }
           else if recognized f then
             { report with cr_stale = f :: report.cr_stale }
           else { report with cr_foreign = f :: report.cr_foreign })
-        { cr_live = []; cr_stale = []; cr_foreign = [] }
+        { cr_live = []; cr_stale = []; cr_tmp = []; cr_foreign = [] }
         files
       |> fun r ->
       {
         cr_live = List.rev r.cr_live;
         cr_stale = List.rev r.cr_stale;
+        cr_tmp = List.rev r.cr_tmp;
         cr_foreign = List.rev r.cr_foreign;
       })
     t.cache_dir
@@ -203,14 +206,18 @@ let scan_cache t =
 let prune_cache t =
   match (t.cache_dir, scan_cache t) with
   | Some dir, Some report ->
-      List.iter
-        (fun f -> Sys.remove (Filename.concat dir f))
-        report.cr_stale;
-      report.cr_stale
+      let doomed = report.cr_stale @ report.cr_tmp in
+      List.iter (fun f -> Sys.remove (Filename.concat dir f)) doomed;
+      doomed
   | _ -> []
 
-let all_profiles t ~llc_config =
-  Array.init Suite.count (fun i -> profile t ~llc_config i)
+let all_profiles ?pool t ~llc_config =
+  match pool with
+  | None -> Array.init Suite.count (fun i -> profile t ~llc_config i)
+  | Some pool ->
+      Pool.map pool
+        (fun i -> profile t ~llc_config i)
+        (Array.init Suite.count Fun.id)
 
 let cpi_single t ~llc_config mix =
   Array.map

@@ -45,11 +45,14 @@ val cache_path : t -> llc_config:int -> int -> string option
 val profile : t -> llc_config:int -> int -> Mppm_profile.Profile.t
 (** [profile t ~llc_config i] is the single-core profile of suite benchmark
     [i] on LLC configuration [llc_config] (Table 2), computed on first use
-    (or loaded from the cache directory) and memoized.  Counts every lookup
-    into {!Mppm_obs.Registry} under [profile_cache.*]: [memo_hits] (served
-    from memory), [hits] (loaded from disk), [misses] (computed), and
-    [stale] (cache-directory entries for the requested benchmark/config
-    whose fingerprint digest no longer matches). *)
+    (or loaded from the cache directory) and memoized.  The memo table is
+    a {!Mppm_pool.Single_flight} front, so concurrent pool workers
+    requesting the same profile trigger exactly one computation and share
+    the result.  Counts every lookup into {!Mppm_obs.Registry} under
+    [profile_cache.*]: [memo_hits] (served from memory), [hits] (loaded
+    from disk), [misses] (computed), and [stale] (cache-directory entries
+    for the requested benchmark/config whose fingerprint digest no longer
+    matches). *)
 
 (** Classification of a profile-cache directory's contents. *)
 type cache_report = {
@@ -59,6 +62,9 @@ type cache_report = {
   cr_stale : string list;
       (** recognized ["name-cfgN-*.prof"] entries whose fingerprint digest
           matches no current benchmark/config pair *)
+  cr_tmp : string list;
+      (** orphaned ["*.tmp"] staging files left by an interrupted atomic
+          profile write *)
   cr_foreign : string list;  (** everything else in the directory *)
 }
 
@@ -67,11 +73,16 @@ val scan_cache : t -> cache_report option
     without one).  Basenames are sorted within each class. *)
 
 val prune_cache : t -> string list
-(** [prune_cache t] deletes the {!cache_report.cr_stale} entries (live and
-    foreign files are untouched) and returns the deleted basenames. *)
+(** [prune_cache t] deletes the {!cache_report.cr_stale} entries and the
+    orphaned {!cache_report.cr_tmp} staging files (live and foreign files
+    are untouched) and returns the deleted basenames. *)
 
-val all_profiles : t -> llc_config:int -> Mppm_profile.Profile.t array
-(** Profiles of the whole suite, in suite order. *)
+val all_profiles :
+  ?pool:Mppm_pool.Pool.t -> t -> llc_config:int ->
+  Mppm_profile.Profile.t array
+(** Profiles of the whole suite, in suite order.  [pool] computes them in
+    parallel (results are positional, so the array is identical to the
+    sequential one). *)
 
 val cpi_single : t -> llc_config:int -> Mppm_workload.Mix.t -> float array
 (** Isolated whole-trace CPI of each program of the mix. *)

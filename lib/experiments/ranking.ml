@@ -68,7 +68,7 @@ let config_ids = Array.init Mppm_cache.Configs.llc_config_count (fun i -> i + 1)
 let means_over per_config_values =
   Array.map Stats.mean per_config_values
 
-let run ctx options =
+let run ?pool ctx options =
   let pool_rng = Context.rng ctx "ranking-pool" in
   let set_rng = Context.rng ctx "ranking-sets" in
   let mppm_rng = Context.rng ctx "ranking-mppm" in
@@ -86,9 +86,17 @@ let run ctx options =
              Array.init options.category_pool_per_composition (fun _ ->
                  Category.random_mix pool_rng ~mem ~comp ~cores composition) ))
   in
-  (* --- detailed simulation of every pool mix on every config -------- *)
+  (* --- detailed simulation of every pool mix on every config --------
+     Both population sweeps fan out over the pool when one is given; every
+     mix is pre-drawn above and tasks are mapped positionally, so results
+     match the sequential sweep bit for bit. *)
+  let pool_map f xs =
+    match pool with
+    | Some pool -> Mppm_pool.Pool.map pool f xs
+    | None -> Array.map f xs
+  in
   let simulate mixes =
-    Array.map
+    pool_map
       (fun mix ->
         Array.map
           (fun cfg ->
@@ -150,7 +158,7 @@ let run ctx options =
     Sampler.random_mixes mppm_rng ~cores ~count:options.mppm_mixes
   in
   let mppm_results =
-    Array.map
+    pool_map
       (fun mix ->
         Array.map
           (fun cfg ->

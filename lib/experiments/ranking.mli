@@ -58,9 +58,12 @@ type t = {
   pairwise : pair_outcome array;  (** Fig. 8, config #1 vs each other *)
 }
 
-val run : Context.t -> options -> t
+val run : ?pool:Mppm_pool.Pool.t -> Context.t -> options -> t
 (** Runs the whole experiment: reference pool, current-practice sets and
-    the MPPM population, on LLC configs #1..#6. *)
+    the MPPM population, on LLC configs #1..#6.  [pool] fans the detailed
+    reference/category sweeps and the MPPM population out over worker
+    domains; all mixes are pre-drawn, so the result is bit-for-bit
+    identical to the sequential run. *)
 
 val pp_fig7 : Format.formatter -> t -> unit
 (** Rank-correlation bars: random sets, category sets, MPPM. *)

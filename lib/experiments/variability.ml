@@ -10,11 +10,16 @@ type point = {
 
 type t = { cores : int; llc_config : int; points : point list }
 
-let run ctx ?(llc_config = 1) ?(cores = 4) ?(max_mixes = 150) ?(step = 10) () =
+let run ctx ?pool ?(llc_config = 1) ?(cores = 4) ?(max_mixes = 150) ?(step = 10)
+    () =
   if max_mixes < 2 || step < 1 then invalid_arg "Variability.run";
   let rng = Context.rng ctx "variability" in
   let mixes = Sampler.random_mixes rng ~cores ~count:max_mixes in
-  let results = Array.map (Context.predict ctx ~llc_config) mixes in
+  let results =
+    match pool with
+    | Some pool -> Mppm_pool.Pool.map pool (Context.predict ctx ~llc_config) mixes
+    | None -> Array.map (Context.predict ctx ~llc_config) mixes
+  in
   let stps = Array.map (fun r -> r.Model.stp) results in
   let antts = Array.map (fun r -> r.Model.antt) results in
   let points = ref [] in

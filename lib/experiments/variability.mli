@@ -23,6 +23,7 @@ type t = {
 
 val run :
   Context.t ->
+  ?pool:Mppm_pool.Pool.t ->
   ?llc_config:int ->
   ?cores:int ->
   ?max_mixes:int ->
@@ -31,7 +32,9 @@ val run :
   t
 (** [run ctx ()] predicts [max_mixes] (default 150) random quad-core mixes
     and reports the 95% confidence interval of mean STP and mean ANTT over
-    the first [n] mixes for [n] in steps of [step] (default 10). *)
+    the first [n] mixes for [n] in steps of [step] (default 10).  [pool]
+    evaluates the pre-drawn mixes in parallel; the points are bit-for-bit
+    identical to the sequential run. *)
 
 val pp : Format.formatter -> t -> unit
 (** Series rows: n, STP mean and CI half-width (abs and %), same for

@@ -1,13 +1,29 @@
-let counters = Counter.create ()
+(* One global counter set, shared by every domain.  Pool workers
+   (lib/pool/) publish per-run aggregates here concurrently, so every
+   operation takes the registry lock; counter updates are commutative
+   additions, which keeps the totals independent of worker scheduling. *)
 
-let add name by = Counter.add counters name by
-let incr name = Counter.incr counters name
+(* lint: allow-file S5 the registry is the one lib/ module outside
+   lib/pool/ written from worker domains; a single lock makes its
+   updates atomic *)
+
+let counters = Counter.create ()
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let add name by = locked (fun () -> Counter.add counters name by)
+let incr name = locked (fun () -> Counter.incr counters name)
 
 let add_all ~prefix pairs =
-  List.iter (fun (name, v) -> add (prefix ^ "." ^ name) v) pairs
+  locked (fun () ->
+      List.iter (fun (name, v) -> Counter.add counters (prefix ^ "." ^ name) v)
+        pairs)
 
-let get name = Counter.value counters name
-let snapshot () = Counter.to_alist counters
+let get name = locked (fun () -> Counter.value counters name)
+let snapshot () = locked (fun () -> Counter.to_alist counters)
 
 let snapshot_prefix prefix =
   let p = prefix ^ "." in
@@ -16,4 +32,4 @@ let snapshot_prefix prefix =
     (fun (name, _) -> String.length name >= n && String.sub name 0 n = p)
     (snapshot ())
 
-let reset () = Counter.reset counters
+let reset () = locked (fun () -> Counter.reset counters)

@@ -1,0 +1,192 @@
+(* A fixed-size domain pool with a chunked, index-ordered work queue.
+
+   Determinism: tasks are identified by index; slot [i] of the result
+   array always receives [f xs.(i)], and reductions happen sequentially
+   in index order after the barrier.  The scheduling (which domain runs
+   which chunk) is timing-dependent, but nothing observable depends on
+   it: results are positional, the progress callback sees a monotonic
+   completed-count, error selection picks the lowest failing index, and
+   the registry counters count work items, not scheduling events.
+
+   Memory model: every cross-domain interaction (claiming a chunk,
+   storing a result, bumping the completed count, reading results after
+   the batch-done broadcast) happens under [t.mutex], which establishes
+   the happens-before edges the OCaml memory model requires.  Tasks
+   themselves run unlocked. *)
+
+module Registry = Mppm_obs.Registry
+
+type batch = {
+  b_total : int;
+  b_chunk : int;
+  mutable b_run : int -> unit;
+  mutable b_next : int;  (* next unclaimed task index *)
+  mutable b_completed : int;
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a batch was submitted, or shutdown *)
+  finished : Condition.t;  (* the current batch completed *)
+  mutable batch : batch option;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Claim the next chunk of [b], under [t.mutex]. *)
+let claim_chunk b =
+  if b.b_next >= b.b_total then None
+  else begin
+    let lo = b.b_next in
+    let hi = min b.b_total (lo + b.b_chunk) in
+    b.b_next <- hi;
+    Some (lo, hi)
+  end
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.stopped then None
+      else
+        match t.batch with
+        | Some b -> (
+            match claim_chunk b with
+            | Some span -> Some (b, span)
+            | None ->
+                Condition.wait t.work t.mutex;
+                await ())
+        | None ->
+            Condition.wait t.work t.mutex;
+            await ()
+    in
+    let claimed = await () in
+    Mutex.unlock t.mutex;
+    match claimed with
+    | None -> ()
+    | Some (b, (lo, hi)) ->
+        for i = lo to hi - 1 do
+          b.b_run i
+        done;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stopped <- true;
+  t.workers <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ?on_done ?(chunk = 1) t f xs =
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
+  let total = Array.length xs in
+  if total = 0 then [||]
+  else begin
+    let results = Array.make total None in
+    (* Lowest-index failure, so the raised exception does not depend on
+       which worker happened to fail first. *)
+    let error = ref None in
+    let record_error i e =
+      match !error with
+      | Some (j, _) when j <= i -> ()
+      | _ -> error := Some (i, e)
+    in
+    let b =
+      { b_total = total; b_chunk = chunk; b_run = ignore; b_next = 0;
+        b_completed = 0 }
+    in
+    let run i =
+      let r = try Ok (f xs.(i)) with e -> Error e in
+      Mutex.lock t.mutex;
+      (match r with
+      | Ok v -> results.(i) <- Some v
+      | Error e -> record_error i e);
+      b.b_completed <- b.b_completed + 1;
+      (match on_done with
+      | Some cb -> ( try cb ~done_:b.b_completed ~total with e -> record_error i e)
+      | None -> ());
+      if b.b_completed = total then begin
+        t.batch <- None;
+        Condition.broadcast t.finished
+      end;
+      Mutex.unlock t.mutex
+    in
+    b.b_run <- run;
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: a batch is already running on this pool"
+    end;
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* Deterministic usage counters: batch and task counts plus the
+       largest batch seen.  Only the submitting domain updates these. *)
+    Registry.incr "pool.batches";
+    Registry.add "pool.tasks" (float_of_int total);
+    let hwm = Registry.get "pool.queue_depth_hwm" in
+    if float_of_int total > hwm then
+      Registry.add "pool.queue_depth_hwm" (float_of_int total -. hwm);
+    (* The submitter is worker number [n_jobs]: it drains chunks like the
+       spawned domains, then waits for stragglers. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let claimed =
+        match t.batch with
+        | Some b' when b' == b -> claim_chunk b
+        | _ -> None
+      in
+      match claimed with
+      | Some (lo, hi) ->
+          Mutex.unlock t.mutex;
+          for i = lo to hi - 1 do
+            run i
+          done;
+          help ()
+      | None ->
+          while b.b_completed < total do
+            Condition.wait t.finished t.mutex
+          done;
+          Mutex.unlock t.mutex
+    in
+    help ();
+    (match !error with Some (_, e) -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_reduce ?on_done ?chunk t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map ?on_done ?chunk t f xs)

@@ -1,0 +1,73 @@
+(** A deterministic fixed-size domain pool (OCaml 5 [Domain]s).
+
+    [map] fans an array of independent tasks out over the pool's domains
+    through a chunked work queue, yet returns results positionally — slot
+    [i] always holds [f xs.(i)] — so a parallel map is bit-for-bit
+    identical to [Array.map f xs] for any job count, provided each task
+    is a pure function of its input (in this tree: every task carries its
+    own derived RNG seed and draws nothing from shared mutable state; see
+    docs/parallelism.md for the determinism argument).
+
+    Deterministic usage counters are published through
+    {!Mppm_obs.Registry} under ["pool.*"]: [pool.batches], [pool.tasks]
+    and [pool.queue_depth_hwm] (the largest batch submitted).  Counts
+    only — wall-clock timing stays in bench/ and tools/ per lint rule
+    D1/O1.
+
+    A pool is not reentrant: tasks must not call {!map} on the pool that
+    is running them, and only one {!map} may be in flight per pool. *)
+
+type t
+(** A pool of worker domains plus the submitting domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1: the job count
+    {!create} and {!with_pool} use when none is given. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitter is
+    the remaining worker, so [jobs = 1] spawns nothing and {!map} runs
+    tasks in the calling domain, in index order).  [jobs] defaults to
+    {!default_jobs}; values below 1 are rejected.  Call {!shutdown} when
+    done, or use {!with_pool}. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit and joins them.  Idempotent.  Any later
+    {!map} on the pool is rejected. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val jobs : t -> int
+(** The pool's job count (worker domains + the submitter). *)
+
+val map :
+  ?on_done:(done_:int -> total:int -> unit) ->
+  ?chunk:int ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map t f xs] computes [Array.map f xs] with the pool's domains,
+    assigning tasks by index in chunks of [chunk] (default 1) and storing
+    each result in its task's slot.  [on_done] is called after every task
+    completes, serialized under the pool's mutex — [done_] counts
+    completed tasks (monotonic, [1..total]) so a progress reporter never
+    observes interleaved or out-of-order updates.  If any task raises,
+    the remaining tasks still run and the exception of the lowest-index
+    failing task is re-raised (deterministic whichever worker hit it
+    first). *)
+
+val map_reduce :
+  ?on_done:(done_:int -> total:int -> unit) ->
+  ?chunk:int ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** [map_reduce t ~map ~reduce ~init xs] maps in parallel with {!map},
+    then folds the results sequentially in task order — the fold order
+    (and thus any float accumulation) is independent of the job count. *)

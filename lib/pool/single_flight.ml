@@ -1,0 +1,73 @@
+(* Single-flight memoization: one computation per key, shared by every
+   concurrent requester.
+
+   The table holds [Running] while a computation is in flight; requesters
+   that find it wait on the condition variable and re-check.  A failed
+   computation removes the key and wakes the waiters, one of which then
+   becomes the new computer — so an exception never wedges a key. *)
+
+module Registry = Mppm_obs.Registry
+
+type 'v slot = Running | Done of 'v
+
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  ready : Condition.t;
+  table : ('k, 'v slot) Hashtbl.t;
+  metric : string option;
+}
+
+let create ?metric () =
+  {
+    mutex = Mutex.create ();
+    ready = Condition.create ();
+    table = Hashtbl.create ~random:false 64;
+    metric;
+  }
+
+let count_hit t =
+  Registry.incr "pool.single_flight.hits";
+  match t.metric with
+  | Some m -> Registry.incr (m ^ ".memo_hits")
+  | None -> ()
+
+let get t key compute =
+  Mutex.lock t.mutex;
+  let rec await () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done v) ->
+        Mutex.unlock t.mutex;
+        count_hit t;
+        v
+    | Some Running ->
+        Condition.wait t.ready t.mutex;
+        await ()
+    | None -> (
+        Hashtbl.replace t.table key Running;
+        Mutex.unlock t.mutex;
+        Registry.incr "pool.single_flight.computes";
+        match compute key with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.table key (Done v);
+            Condition.broadcast t.ready;
+            Mutex.unlock t.mutex;
+            v
+        | exception e ->
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.table key;
+            Condition.broadcast t.ready;
+            Mutex.unlock t.mutex;
+            raise e)
+  in
+  await ()
+
+let mem t key =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done _) -> true
+    | Some Running | None -> false
+  in
+  Mutex.unlock t.mutex;
+  r

@@ -1,0 +1,31 @@
+(** A mutex-guarded, single-flight memo table.
+
+    [get t k compute] returns the cached value for [k], computing it with
+    [compute k] on first request.  When several domains request the same
+    key concurrently, exactly one runs [compute]; the others block until
+    the value lands and then share it.  The computation runs outside the
+    table's lock, so distinct keys compute in parallel.
+
+    Counters ({!Mppm_obs.Registry}): every computation increments
+    ["pool.single_flight.computes"] and every request served without
+    computing increments ["pool.single_flight.hits"] — both are functions
+    of the request multiset alone (hits = requests − distinct keys), so
+    they are independent of scheduling and job count.  A table created
+    with [~metric:"m"] additionally counts hits under ["m.memo_hits"],
+    which is how the profile cache keeps its historical counter names. *)
+
+type ('k, 'v) t
+(** A single-flight table from ['k] to ['v]. *)
+
+val create : ?metric:string -> unit -> ('k, 'v) t
+(** A fresh empty table.  [metric], when given, prefixes the per-table
+    hit counter (["<metric>.memo_hits"]). *)
+
+val get : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** [get t k compute] is the value for [k], computed at most once.  If
+    [compute] raises, the key is released (so a later request retries)
+    and the exception propagates to the requester that ran it; waiting
+    requesters elect a new computer. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Whether a completed value for [k] is in the table. *)

@@ -138,8 +138,14 @@ let float_str x =
   let s = Printf.sprintf "%.15g" x in
   if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
+(* Writes go to a ".tmp" sibling first and are renamed into place, so a
+   concurrent reader (pool workers share one cache directory) or an
+   interrupted run never observes a truncated profile.  The tmp name is
+   deterministic; racing writers of the same path write identical bytes,
+   so last-rename-wins is harmless. *)
 let save t path =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
@@ -158,7 +164,8 @@ let save t path =
             (fun c -> Printf.fprintf oc " %s" (float_str c))
             (Sdc.to_list iv.sdc);
           Printf.fprintf oc "\n")
-        t.intervals)
+        t.intervals);
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in

@@ -93,7 +93,9 @@ val format_version : string
 val save : t -> string -> unit
 (** [save t path] writes the profile as a line-oriented text file.
     Floats are rendered shortest-round-trip, so [load (save t)] is
-    bit-for-bit identical to [t]. *)
+    bit-for-bit identical to [t].  The write is atomic: bytes go to
+    [path ^ ".tmp"] and are renamed into place, so a concurrent reader or
+    an interrupted run never sees a truncated file. *)
 
 val load : string -> t
 (** [load path] reads a profile written by {!save}.  Raises [Failure] with

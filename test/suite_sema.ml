@@ -198,6 +198,75 @@ let test_s4 () =
   in
   Alcotest.(check (list string)) "uses through open count" [] (rules_of r)
 
+(* ---- S5: concurrency containment ----------------------------------------- *)
+
+let locky =
+  "let m = Mutex.create ()\nlet guard f =\n  Mutex.lock m;\n  let r = f () in\n  Mutex.unlock m;\n  r\n"
+
+let test_s5_direct () =
+  let r = analyze [ ("lib/demo/locky.ml", locky) ] in
+  Alcotest.(check bool) "Mutex in plain lib flagged" true
+    (List.mem "S5" (rules_of r));
+  (match List.find_opt (fun d -> d.Diag.rule = "S5") r.Sema.diags with
+  | Some d ->
+      Alcotest.(check bool) "error severity" true (d.Diag.severity = Diag.Error);
+      Alcotest.(check bool) "witness names the prim" true
+        (contains d.Diag.message "Mutex.")
+  | None -> Alcotest.fail "expected an S5 diag");
+  let r = analyze [ ("bench/locky.ml", locky) ] in
+  Alcotest.(check (list string)) "concurrency outside lib is fine" []
+    (rules_of r);
+  let r = analyze [ ("lib/pool/locky.ml", locky) ] in
+  Alcotest.(check (list string)) "lib/pool/ is sanctioned" [] (rules_of r)
+
+let test_s5_transitive () =
+  let r =
+    analyze
+      [
+        ("lib/demo/locky.ml", locky);
+        ("lib/demo/user.ml", "let run f = Locky.guard f\n");
+      ]
+  in
+  Alcotest.(check bool) "caller inherits the concurrency effect" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S5"
+         && d.Diag.file = "lib/demo/user.ml"
+         && contains d.Diag.message "Locky.guard")
+       r.Sema.diags);
+  (* Calling into lib/pool/ does not taint the caller. *)
+  let r =
+    analyze
+      [
+        ("lib/pool/locky.ml", locky);
+        ("lib/demo/user.ml", "let run f = Mppm_pool.Locky.guard f\n");
+      ]
+  in
+  Alcotest.(check (list string)) "lib/pool/ cuts propagation" [] (rules_of r)
+
+let test_s5_allow_absorbs () =
+  (* An allow-file on the direct user suppresses the finding AND keeps the
+     taint out of the effect lattice, so callers stay clean too. *)
+  let allowed =
+    "(* lint: allow-file S5 single lock, sanctioned like the registry *)\n"
+    ^ locky
+  in
+  let r =
+    analyze
+      [
+        ("lib/demo/locky.ml", allowed);
+        ("lib/demo/user.ml", "let run f = Locky.guard f\n");
+      ]
+  in
+  Alcotest.(check (list string)) "allow-file absorbs the taint" []
+    (rules_of r);
+  let line_allowed =
+    "(* lint: allow S5 one sanctioned lock *)\nlet m = Mutex.create ()\n"
+  in
+  let r = analyze [ ("lib/demo/l2.ml", line_allowed) ] in
+  Alcotest.(check (list string)) "line allow absorbs a single prim" []
+    (rules_of r)
+
 (* ---- Shared suppression --------------------------------------------------- *)
 
 let test_suppression () =
@@ -435,6 +504,10 @@ let tests =
         Alcotest.test_case "S2 constant seed" `Quick test_s2_constant_seed;
         Alcotest.test_case "S3 float accumulation" `Quick test_s3;
         Alcotest.test_case "S4 dead exports" `Quick test_s4;
+        Alcotest.test_case "S5 direct concurrency" `Quick test_s5_direct;
+        Alcotest.test_case "S5 transitive" `Quick test_s5_transitive;
+        Alcotest.test_case "S5 allow absorbs taint" `Quick
+          test_s5_allow_absorbs;
         Alcotest.test_case "shared suppression" `Quick test_suppression;
         Alcotest.test_case "fallback is flagged" `Quick test_fallback_is_flagged;
       ] );

@@ -1,7 +1,12 @@
 (* Calibration tool: prints each synthetic benchmark's isolated
    characteristics on the baseline hierarchy, then sanity-checks MPPM
    against detailed multi-core simulation on a few 4-program mixes.  Used
-   while tuning lib/trace/suite.ml; kept as a development aid. *)
+   while tuning lib/trace/suite.ml; kept as a development aid.
+
+   --jobs N fans the per-benchmark profiling and the per-mix simulations
+   out over N worker domains (0 or absent: all recommended domains).
+   Tasks are mapped positionally and printed after the batch, so the
+   report is identical for any job count (wall-clock timings aside). *)
 
 module Suite = Mppm_trace.Suite
 module Single_core = Mppm_simcore.Single_core
@@ -10,17 +15,26 @@ module Profile = Mppm_profile.Profile
 module Model = Mppm_core.Model
 module Metrics = Mppm_core.Metrics
 module Configs = Mppm_cache.Configs
+module Pool = Mppm_pool.Pool
 
 let trace = 2_000_000
 let interval = trace / 50
 
+let jobs =
+  let rec find = function
+    | "--jobs" :: n :: _ -> ( try int_of_string n with Failure _ -> 0)
+    | _ :: rest -> find rest
+    | [] -> 0
+  in
+  let n = find (Array.to_list Sys.argv) in
+  if n <= 0 then Pool.default_jobs () else n
+
 let () =
+  Pool.with_pool ~jobs @@ fun pool ->
   let hierarchy = Configs.baseline () in
   let cfg = Single_core.config hierarchy in
-  Printf.printf "%-12s %6s %6s %6s %7s %8s\n" "benchmark" "CPI" "mCPI" "mem%"
-    "MPKI" "LLCacc/ki";
-  let profiles =
-    Array.map
+  let rows =
+    Pool.map pool
       (fun bench ->
         let name = bench.Mppm_trace.Benchmark.name in
         let t0 = Unix.gettimeofday () in
@@ -29,61 +43,75 @@ let () =
             ~trace_instructions:trace ~interval_instructions:interval
         in
         let dt = Unix.gettimeofday () -. t0 in
-        let llc_acc =
-          Array.fold_left
-            (fun a iv -> a +. iv.Profile.llc_accesses)
-            0.0 profile.Profile.intervals
-        in
-        Printf.printf "%-12s %6.3f %6.3f %5.1f%% %7.2f %8.2f  (%.2fs)\n" name
-          (Profile.cpi profile) (Profile.memory_cpi profile)
-          (100.0 *. Profile.memory_cpi_fraction profile)
-          (Profile.llc_mpki profile)
-          (llc_acc *. 1000.0 /. float_of_int trace)
-          dt;
-        profile)
+        (name, profile, dt))
       Suite.all
   in
+  Printf.printf "%-12s %6s %6s %6s %7s %8s\n" "benchmark" "CPI" "mCPI" "mem%"
+    "MPKI" "LLCacc/ki";
+  Array.iter
+    (fun (name, profile, dt) ->
+      let llc_acc =
+        Array.fold_left
+          (fun a iv -> a +. iv.Profile.llc_accesses)
+          0.0 profile.Profile.intervals
+      in
+      Printf.printf "%-12s %6.3f %6.3f %5.1f%% %7.2f %8.2f  (%.2fs)\n" name
+        (Profile.cpi profile) (Profile.memory_cpi profile)
+        (100.0 *. Profile.memory_cpi_fraction profile)
+        (Profile.llc_mpki profile)
+        (llc_acc *. 1000.0 /. float_of_int trace)
+        dt)
+    rows;
+  let profiles = Array.map (fun (_, p, _) -> p) rows in
   (* A few 4-program mixes: the paper's worst mix and two contrasts. *)
   let mixes =
-    [
+    [|
       [| "gamess"; "gamess"; "hmmer"; "soplex" |];
       [| "gamess"; "lbm"; "mcf"; "libquantum" |];
       [| "hmmer"; "povray"; "namd"; "gromacs" |];
       [| "soplex"; "omnetpp"; "xalancbmk"; "gobmk" |];
       [| "mcf"; "lbm"; "milc"; "GemsFDTD" |];
-    ]
+    |]
   in
   let params = Model.default_params ~trace_instructions:trace in
-  List.iter
-    (fun names ->
-      let offsets = Multi_core.default_offsets (Array.length names) in
-      let specs =
-        Array.mapi
-          (fun i name ->
-            {
-              Multi_core.benchmark = Suite.find name;
-              seed = Suite.seed_for name;
-              offset = offsets.(i);
-            })
-          names
-      in
-      let t0 = Unix.gettimeofday () in
-      let detailed =
-        Multi_core.run (Multi_core.config hierarchy) ~programs:specs
-          ~trace_instructions:trace
-      in
-      let dt_sim = Unix.gettimeofday () -. t0 in
-      let t0 = Unix.gettimeofday () in
-      let predicted =
-        Model.predict_profiles params
-          (Array.map (fun n -> profiles.(Suite.index n)) names)
-      in
-      let dt_model = Unix.gettimeofday () -. t0 in
+  let mix_reports =
+    Pool.map pool
+      (fun names ->
+        let offsets = Multi_core.default_offsets (Array.length names) in
+        let specs =
+          Array.mapi
+            (fun i name ->
+              {
+                Multi_core.benchmark = Suite.find name;
+                seed = Suite.seed_for name;
+                offset = offsets.(i);
+              })
+            names
+        in
+        let t0 = Unix.gettimeofday () in
+        let detailed =
+          Multi_core.run (Multi_core.config hierarchy) ~programs:specs
+            ~trace_instructions:trace
+        in
+        let dt_sim = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let predicted =
+          Model.predict_profiles params
+            (Array.map (fun n -> profiles.(Suite.index n)) names)
+        in
+        let dt_model = Unix.gettimeofday () -. t0 in
+        (names, detailed, predicted, dt_sim, dt_model))
+      mixes
+  in
+  Array.iter
+    (fun (names, detailed, predicted, dt_sim, dt_model) ->
       let cpi_single =
         Array.map (fun n -> Profile.cpi profiles.(Suite.index n)) names
       in
       let cpi_multi_meas =
-        Array.map (fun p -> p.Multi_core.multicore_cpi) detailed.Multi_core.programs
+        Array.map
+          (fun p -> p.Multi_core.multicore_cpi)
+          detailed.Multi_core.programs
       in
       let stp_meas = Metrics.stp ~cpi_single ~cpi_multi:cpi_multi_meas in
       let antt_meas = Metrics.antt ~cpi_single ~cpi_multi:cpi_multi_meas in
@@ -101,4 +129,4 @@ let () =
           Printf.printf "  %-12s slowdown measured %.3f predicted %.3f\n" name
             meas_slow pred.Model.slowdown)
         names)
-    mixes
+    mix_reports

@@ -78,6 +78,13 @@ let all =
         "Dead export: a lib/ .mli value referenced by no other compilation \
          unit.";
     };
+    {
+      id = "S5";
+      layer = "ast";
+      summary =
+        "Concurrency containment: a lib/ function transitively reaches the \
+         Domain/Mutex/Condition/Atomic surface outside lib/pool/.";
+    };
   ]
 
 let all_ids = List.map (fun r -> r.id) all

@@ -1,10 +1,14 @@
-(* Transitive per-function effect summaries and the S1 containment rule.
+(* Transitive per-function effect summaries and the S1/S5 containment
+   rules.
 
    Each top-level function starts from its direct effects (recorded in
    Facts) and absorbs the effects of every resolvable callee to a
    fixpoint.  Propagation of the I/O effect stops at the allowlisted
    units: calling into the profile cache or the trace-file store is
-   sanctioned, so the caller does not inherit the I/O taint. *)
+   sanctioned, so the caller does not inherit the I/O taint.  The
+   concurrency effect (S5) propagates the same way and is absorbed at
+   lib/pool/: calling Pool.map is sanctioned, open-coding Domain.spawn
+   elsewhere in lib/ is not. *)
 
 module Diag = Mppm_lint.Diag
 
@@ -19,9 +23,19 @@ let allowlist =
     "lib/obs/sink";
   ]
 
+(* Units allowed to use (and absorb) the Domain/Mutex/Condition/Atomic
+   concurrency surface: everything under lib/pool/. *)
+let conc_dir = "lib/pool/"
+
+let in_conc_allowlist unit_key =
+  String.length unit_key >= String.length conc_dir
+  && String.sub unit_key 0 (String.length conc_dir) = conc_dir
+
 type node = {
   mutable io : bool;
   mutable io_witness : string;
+  mutable conc : bool;
+  mutable conc_witness : string;
   mutable rng : bool;
   mutable mut : bool;
   mutable raises : bool;
@@ -32,6 +46,21 @@ type node = {
 
 let node_key unit_key fn_name = unit_key ^ ":" ^ fn_name
 
+(* Direct concurrency prims with the file's S5 allow comments already
+   applied: a prim on an allowed line never enters the effect lattice, so
+   a sanctioned use (e.g. the registry's lock) does not taint its
+   callers the way a suppressed-at-report-time diag still would. *)
+let conc_prims_of (f : Facts.t) (fn : Facts.fn) =
+  if List.mem "S5" f.Facts.allow_files then []
+  else
+    List.filter
+      (fun (_, line) ->
+        not
+          (List.exists
+             (fun (rule, l) -> rule = "S5" && (l = line || l = line - 1))
+             f.Facts.allows))
+      fn.Facts.prim_conc
+
 let build_nodes facts_list =
   let nodes : (string, node) Hashtbl.t = Hashtbl.create ~random:false 256 in
   List.iter
@@ -41,6 +70,7 @@ let build_nodes facts_list =
         List.iter
           (fun (fn : Facts.fn) ->
             let io = fn.Facts.prim_io <> [] in
+            let conc_prims = conc_prims_of f fn in
             Hashtbl.replace nodes
               (node_key unit_key fn.Facts.fn_name)
               {
@@ -49,6 +79,9 @@ let build_nodes facts_list =
                   (match fn.Facts.prim_io with
                   | (p, _) :: _ -> p
                   | [] -> "");
+                conc = conc_prims <> [];
+                conc_witness =
+                  (match conc_prims with (p, _) :: _ -> p | [] -> "");
                 rng = fn.Facts.has_rng;
                 mut = fn.Facts.mutates_global;
                 raises = fn.Facts.raises;
@@ -109,6 +142,19 @@ let propagate env facts_list nodes =
                                   callee.fn.Facts.fn_name;
                               changed := true
                             end;
+                            if
+                              callee.conc
+                              && (not (in_conc_allowlist callee.unit_key))
+                              && not node.conc
+                            then begin
+                              node.conc <- true;
+                              node.conc_witness <-
+                                Printf.sprintf "call to %s.%s"
+                                  (String.capitalize_ascii
+                                     (Filename.basename callee.unit_key))
+                                  callee.fn.Facts.fn_name;
+                              changed := true
+                            end;
                             if callee.rng && not node.rng then begin
                               node.rng <- true;
                               changed := true
@@ -152,6 +198,24 @@ let check env facts_list =
                  modules"
                 node.fn.Facts.fn_name node.io_witness;
           }
+          :: !diags;
+      if
+        node.conc && in_lib node.rel
+        && not (in_conc_allowlist node.unit_key)
+      then
+        diags :=
+          {
+            Diag.file = node.rel;
+            line = node.fn.Facts.fn_line;
+            rule = "S5";
+            severity = Diag.Error;
+            message =
+              Printf.sprintf
+                "%s reaches the Domain/Mutex/Condition/Atomic surface (%s); \
+                 lib/ concurrency must stay inside lib/pool/ (or carry an \
+                 allow comment)"
+                node.fn.Facts.fn_name node.conc_witness;
+          }
           :: !diags)
     nodes;
   List.sort Diag.compare !diags
@@ -165,8 +229,8 @@ let summaries env facts_list =
         List.filter_map
           (fun (name, on) -> if on then Some name else None)
           [
-            ("io", node.io); ("rng", node.rng); ("mut-global", node.mut);
-            ("raises", node.raises);
+            ("io", node.io); ("conc", node.conc); ("rng", node.rng);
+            ("mut-global", node.mut); ("raises", node.raises);
           ]
       in
       (node.rel, node.fn.Facts.fn_name, String.concat "," effects) :: acc)

@@ -1,21 +1,31 @@
-(** Transitive effect summaries and the S1 effect-containment rule.
+(** Transitive effect summaries and the S1/S5 effect-containment rules.
 
     Direct per-function effects come from {!Facts}; this module closes
     them over the cross-module call graph to a fixpoint and reports any
     [lib/] function that can transitively reach file/channel I/O outside
-    the allowlisted profile-cache / trace-file / obs-sink modules. *)
+    the allowlisted profile-cache / trace-file / obs-sink modules (S1),
+    or the [Domain]/[Mutex]/[Condition]/[Atomic] concurrency surface
+    outside [lib/pool/] (S5). *)
 
 val allowlist : string list
 (** Compilation-unit keys ([lib/profile/profile], ...) sanctioned to
     perform file/channel I/O.  Propagation of the I/O effect is cut at
     these units: calling them does not taint the caller. *)
 
+val conc_dir : string
+(** Directory prefix ([lib/pool/]) whose units are sanctioned to use the
+    concurrency surface.  Propagation of the concurrency effect is cut at
+    these units: calling [Pool.map] does not taint the caller.  A
+    concurrency prim on a line covered by an S5 allow comment (or in a
+    file with an S5 allow-file) never enters the effect lattice at all,
+    so a sanctioned use does not taint callers either. *)
+
 val check : Resolve.env -> Facts.t list -> Mppm_lint.Diag.t list
-(** S1 findings (errors), sorted in {!Mppm_lint.Diag.compare} order.
-    Suppression is applied by the caller ({!Sema.analyze}). *)
+(** S1 and S5 findings (errors), sorted in {!Mppm_lint.Diag.compare}
+    order.  Suppression is applied by the caller ({!Sema.analyze}). *)
 
 val summaries : Resolve.env -> Facts.t list -> (string * string * string) list
 (** [(file, function, effects)] for every analyzed function, where
     [effects] is a comma-joined subset of
-    [io], [rng], [mut-global], [raises] after transitive propagation.
-    Sorted; used by the driver's [--summaries] output. *)
+    [io], [conc], [rng], [mut-global], [raises] after transitive
+    propagation.  Sorted; used by the driver's [--summaries] output. *)

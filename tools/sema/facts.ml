@@ -14,6 +14,8 @@ type fn = {
   rng_fields : string list;
       (* record fields passed as the state argument of an Rng draw *)
   prim_io : (string * int) list;  (* (primitive, line) of direct file I/O *)
+  prim_conc : (string * int) list;
+      (* (primitive, line) of direct Domain/Mutex/Condition/Atomic use *)
   has_rng : bool;
   mutates_global : bool;
   raises : bool;
@@ -73,6 +75,17 @@ let io_prim_of_path = function
   | [ "Stdlib"; p ] when List.mem p channel_prims -> Some p
   | [ "Sys"; p ] when List.mem p sys_fs_prims -> Some ("Sys." ^ p)
   | "Unix" :: p :: _ -> Some ("Unix." ^ p)
+  | _ -> None
+
+let conc_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic" ]
+
+(* A use of the OCaml 5 concurrency surface (S5).  Aliases are expanded
+   before we get here, and the stdlib qualifies these as [Stdlib.Mutex]
+   etc., so both spellings resolve. *)
+let conc_prim_of_path path =
+  let path = match path with "Stdlib" :: rest -> rest | p -> p in
+  match path with
+  | m :: member :: _ when List.mem m conc_modules -> Some (m ^ "." ^ member)
   | _ -> None
 
 (* A path that ends [....Rng.member] is a use of the deterministic RNG:
@@ -173,6 +186,7 @@ let scan_body st ~fn_name ~fn_line body =
   let calls = ref [] in
   let rng_fields = ref [] in
   let prim_io = ref [] in
+  let prim_conc = ref [] in
   let has_rng = ref false in
   let mutates_global = ref false in
   let raises = ref false in
@@ -185,6 +199,9 @@ let scan_body st ~fn_name ~fn_line body =
       st.st_refs <- path :: st.st_refs;
       (match io_prim_of_path path with
       | Some p -> prim_io := (p, line) :: !prim_io
+      | None -> ());
+      (match conc_prim_of_path path with
+      | Some p -> prim_conc := (p, line) :: !prim_conc
       | None -> ());
       (match List.rev path with
       | last :: _ when List.mem last raise_prims && List.length path <= 2 ->
@@ -317,6 +334,7 @@ let scan_body st ~fn_name ~fn_line body =
     calls = List.sort_uniq compare !calls;
     rng_fields = List.sort_uniq compare !rng_fields;
     prim_io = List.rev !prim_io;
+    prim_conc = List.rev !prim_conc;
     has_rng = !has_rng;
     mutates_global = !mutates_global;
     raises = !raises;

@@ -17,6 +17,10 @@ type fn = {
   prim_io : (string * int) list;
       (** [(primitive, line)] for each direct file/channel-I/O or
           filesystem primitive the body applies *)
+  prim_conc : (string * int) list;
+      (** [(primitive, line)] for each direct use of the OCaml 5
+          concurrency surface ([Domain]/[Mutex]/[Condition]/[Atomic]);
+          feeds the S5 containment rule *)
   has_rng : bool;  (** the body calls into [Mppm_util.Rng] *)
   mutates_global : bool;
       (** the body assigns ([:=] or [<-]) a module-level value *)
