@@ -39,12 +39,49 @@ let std = Format.std_formatter
 
 (* Wall-clock phase spans and progress lines.  The clock stays in bench/
    (and tools/): lib/ is wall-clock-free by lint rule D1, so all timing
-   observability for experiments lives here. *)
+   observability for experiments lives here.  Every completed phase is
+   also appended to [phase_log] for the machine-readable timing report
+   ([write_bench_json], --bench-json). *)
+let phase_log : (string * float) list ref = ref []
+
 let phase name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let seconds = Unix.gettimeofday () -. t0 in
+  phase_log := (name, seconds) :: !phase_log;
+  Printf.printf "[%s: %.1fs]\n%!" name seconds;
   result
+
+(* The per-phase wall-time report: one JSON object per run, so CI can
+   archive BENCH_model.json and compare harness cost across commits.
+   Phase *timings* vary run to run; everything the model computes stays
+   bit-for-bit deterministic (asserted elsewhere), which is why the
+   timing report lives in a side file instead of the result stream. *)
+let write_bench_json ~path ~trace ~mixes ~seed ~jobs ~paper_scale ~only ~total =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"mppm-bench-timings/1\",\n";
+  Printf.bprintf b
+    "  \"params\": {\"trace\": %d, \"mixes\": %d, \"seed\": %d, \"jobs\": %d, \
+     \"paper\": %b, \"only\": [%s]},\n"
+    trace mixes seed jobs paper_scale
+    (String.concat ", " (List.map (fun s -> "\"" ^ s ^ "\"") only));
+  Buffer.add_string b "  \"phases\": [\n";
+  let phases = List.rev !phase_log in
+  let n = List.length phases in
+  List.iteri
+    (fun i (name, seconds) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n" name
+        seconds
+        (if i = n - 1 then "" else ","))
+    phases;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b "  \"total_seconds\": %.3f\n}\n" total;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b));
+  Printf.printf "phase timings written to %s\n%!" path
 
 (* A per-mix callback for Accuracy.evaluate: one carriage-return progress
    line with elapsed time and a linear ETA.  Pool workers complete tasks
@@ -690,7 +727,7 @@ let all_sections =
     "cophase"; "simpoint"; "micro";
   ]
 
-let run trace mixes seed cache_dir only paper_scale csv jobs =
+let run trace mixes seed cache_dir only paper_scale csv jobs bench_json =
   (match List.filter (fun s -> not (List.mem s all_sections)) only with
   | [] -> ()
   | unknown ->
@@ -699,6 +736,7 @@ let run trace mixes seed cache_dir only paper_scale csv jobs =
            (String.concat ", " unknown)
            (String.concat ", " all_sections)));
   csv_dir := csv;
+  let t_start = Unix.gettimeofday () in
   let scale = Scale.of_trace trace in
   let ctx = Context.create ~seed ~cache_dir scale in
   let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
@@ -738,6 +776,11 @@ let run trace mixes seed cache_dir only paper_scale csv jobs =
   if wants "cophase" then timed "cophase" (fun () -> run_cophase ctx ~mixes);
   if wants "simpoint" then timed "simpoint" (fun () -> run_simpoint ctx ~mixes);
   if wants "micro" then timed "micro" (fun () -> run_micro ctx);
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+      write_bench_json ~path ~trace ~mixes ~seed ~jobs ~paper_scale ~only
+        ~total:(Unix.gettimeofday () -. t_start));
   Printf.printf "\ndone.\n"
 
 open Cmdliner
@@ -788,13 +831,33 @@ let jobs =
            Domain.recommended_domain_count).  Results are bit-for-bit \
            identical for any value.")
 
+let bench_json =
+  Arg.(
+    value
+    & opt (some string) (Some "BENCH_model.json")
+    & info [ "bench-json" ]
+        ~doc:
+          "Write per-phase wall-time timings as JSON to $(docv) (CI \
+           archives it).  Pass an empty value via --no-bench-json to skip."
+        ~docv:"FILE")
+
+let no_bench_json =
+  Arg.(
+    value & flag
+    & info [ "no-bench-json" ] ~doc:"Do not write the phase-timing JSON file.")
+
 let cmd =
   let doc = "Regenerate the tables and figures of the MPPM paper." in
   Cmd.v
     (Cmd.info "mppm-bench" ~doc)
     Term.(
-      const run $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv
-      $ jobs)
+      const
+        (fun trace mixes seed cache_dir only paper_scale csv jobs bench_json
+             no_bench_json ->
+          run trace mixes seed cache_dir only paper_scale csv jobs
+            (if no_bench_json then None else bench_json))
+      $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv $ jobs
+      $ bench_json $ no_bench_json)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -12,6 +12,7 @@ module Engine = Mppm_lint.Engine
 module Fix = Mppm_lint.Fix
 module Sarif = Mppm_lint.Sarif
 module Facts = Mppm_sema.Facts
+module Effects = Mppm_sema.Effects
 module Sema = Mppm_sema.Sema
 
 let contains haystack needle =
@@ -39,6 +40,11 @@ let lint_root () =
 
 let analyze ?cache_file inputs =
   Sema.analyze ?cache_file ~dunes:[]
+    (List.map (fun (rel, content) -> { Sema.rel; content }) inputs)
+
+(* Like [analyze], with dune files so cross-library references resolve. *)
+let analyze_dunes dunes inputs =
+  Sema.analyze ~dunes
     (List.map (fun (rel, content) -> { Sema.rel; content }) inputs)
 
 let rules_of report = List.map (fun d -> d.Diag.rule) report.Sema.diags
@@ -248,7 +254,8 @@ let test_s5_allow_absorbs () =
   (* An allow-file on the direct user suppresses the finding AND keeps the
      taint out of the effect lattice, so callers stay clean too. *)
   let allowed =
-    "(* lint: allow-file S5 single lock, sanctioned like the registry *)\n"
+    "(* lint: allow-file S5 single lock, sanctioned like the registry *)\n\
+     (* lint: allow-file S7 sanctioned module state *)\n"
     ^ locky
   in
   let r =
@@ -261,11 +268,325 @@ let test_s5_allow_absorbs () =
   Alcotest.(check (list string)) "allow-file absorbs the taint" []
     (rules_of r);
   let line_allowed =
-    "(* lint: allow S5 one sanctioned lock *)\nlet m = Mutex.create ()\n"
+    "(* lint: allow S7 demo state *)\n\
+     let m = Mutex.create () (* lint: allow S5 one sanctioned lock *)\n"
   in
   let r = analyze [ ("lib/demo/l2.ml", line_allowed) ] in
   Alcotest.(check (list string)) "line allow absorbs a single prim" []
     (rules_of r)
+
+(* ---- S6: pool-task purity -------------------------------------------------- *)
+
+let rule_diags rule report =
+  List.filter (fun d -> d.Diag.rule = rule) report.Sema.diags
+
+let test_s6_captured_ref () =
+  let impure =
+    "let run pool xs =\n\
+    \  let hits = ref 0 in\n\
+    \  Mppm_pool.Pool.map pool (fun x -> incr hits; x + 1) xs\n"
+  in
+  let r = analyze [ ("lib/demo/par.ml", impure) ] in
+  (match rule_diags "S6" r with
+  | [ d ] ->
+      Alcotest.(check bool) "error severity" true (d.Diag.severity = Diag.Error);
+      Alcotest.(check bool) "names the captured ref" true
+        (contains d.Diag.message "hits");
+      Alcotest.(check bool) "names the entry" true
+        (contains d.Diag.message "Pool.map")
+  | ds -> Alcotest.failf "expected one S6, got %d" (List.length ds));
+  Alcotest.(check (list string)) "no other rule fires" [ "S6" ] (rules_of r);
+  let r = analyze [ ("bench/par.ml", impure) ] in
+  Alcotest.(check (list string)) "impure task outside lib is fine" []
+    (rules_of r)
+
+let test_s6_pure_tasks_clean () =
+  let pure =
+    "let run pool xs = Mppm_pool.Pool.map pool (fun x -> x + 1) xs\n\
+     let render pool xs =\n\
+    \  Mppm_pool.Pool.map pool\n\
+    \    (fun x ->\n\
+    \      let b = Buffer.create 16 in\n\
+    \      Buffer.add_string b x;\n\
+    \      Buffer.contents b)\n\
+    \    xs\n"
+  in
+  let r = analyze [ ("lib/demo/par.ml", pure) ] in
+  Alcotest.(check (list string))
+    "pure tasks (incl. closure-local mutable state) are clean" [] (rules_of r)
+
+let test_s6_tainted_task_path () =
+  let r =
+    analyze
+      [
+        ( "lib/demo/glob.ml",
+          "let total = ref 0\nlet bump x = total := !total + x; x\n" );
+        ( "lib/demo/par.ml",
+          "let run pool xs = Mppm_pool.Pool.map pool Glob.bump xs\n" );
+      ]
+  in
+  Alcotest.(check bool) "task named by path is traced to module state" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S6"
+         && d.Diag.file = "lib/demo/par.ml"
+         && contains d.Diag.message "Glob.bump")
+       r.Sema.diags)
+
+let test_s6_partial_application_race () =
+  let kit = "let step t x = Hashtbl.replace t x x; x\n" in
+  let r =
+    analyze
+      [
+        ("lib/demo/kit.ml", kit);
+        ( "lib/demo/par.ml",
+          "let run pool t xs = Mppm_pool.Pool.map pool (Kit.step t) xs\n" );
+      ]
+  in
+  Alcotest.(check bool) "partially applied mutated value is a race" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S6"
+         && d.Diag.file = "lib/demo/par.ml"
+         && contains d.Diag.message "partially applied")
+       r.Sema.diags);
+  (* The same shared value smuggled through a closure is caught too. *)
+  let r =
+    analyze
+      [
+        ("lib/demo/kit.ml", kit);
+        ( "lib/demo/par.ml",
+          "let run pool xs =\n\
+          \  let acc = Hashtbl.create 16 in\n\
+          \  Mppm_pool.Pool.map pool (fun x -> Kit.step acc x) xs\n" );
+      ]
+  in
+  Alcotest.(check bool) "captured value escaping to a mutator is a race" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S6" && contains d.Diag.message "shares captured value")
+       r.Sema.diags)
+
+let registry_fixture =
+  "(* lint: allow-file S5 sanctioned registry lock *)\n\
+   let counters = Hashtbl.create 8\n\
+   let incr name = Hashtbl.replace counters name 1\n"
+
+let test_s6_sanctioned_memo_clean () =
+  (* The Single_flight memo shape from lib/experiments/context.ml: the
+     task bumps a registry counter, which the purity allowlist sanctions. *)
+  let r =
+    analyze_dunes
+      [ ("lib/obs/dune", "(name mppm_obs)") ]
+      [
+        ("lib/obs/registry.ml", registry_fixture);
+        ( "lib/demo/memo.ml",
+          "let get t k =\n\
+          \  Mppm_pool.Single_flight.get t k (fun () ->\n\
+          \      Mppm_obs.Registry.incr \"hit\";\n\
+          \      42)\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "registry-backed memo task is sanctioned" []
+    (rules_of r)
+
+let test_s6_real_experiments_injection () =
+  (* The acceptance check on real sources: lib/experiments/accuracy.ml is
+     S6-clean as written, and splicing a leaked-counter task into it
+     fails the build. *)
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let rel = "lib/experiments/accuracy.ml" in
+      let content = read_file (Filename.concat root rel) in
+      let clean = analyze [ (rel, content) ] in
+      Alcotest.(check (list string)) "real experiments are task-pure" []
+        (List.filter (fun r -> r = "S6" || r = "S7") (rules_of clean));
+      let mutated =
+        content
+        ^ "\nlet leak_count = ref 0\n\
+           let leak pool xs =\n\
+          \  Mppm_pool.Pool.map pool (fun x -> incr leak_count; x) xs\n"
+      in
+      let r = analyze [ (rel, mutated) ] in
+      Alcotest.(check bool) "injected impure task is caught by S6" true
+        (List.exists
+           (fun d -> d.Diag.rule = "S6" && contains d.Diag.message "leak_count")
+           r.Sema.diags);
+      Alcotest.(check bool) "the leaked toplevel ref is caught by S7" true
+        (List.exists (fun d -> d.Diag.rule = "S7") r.Sema.diags)
+
+(* ---- S7: module-level mutable state ---------------------------------------- *)
+
+let test_s7_toplevel_state () =
+  let glob = "let total = ref 0\nlet bump x = total := !total + x\n" in
+  let r = analyze [ ("lib/demo/glob.ml", glob) ] in
+  Alcotest.(check bool) "the allocation is inventoried" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S7" && d.Diag.line = 1 && contains d.Diag.message "ref")
+       r.Sema.diags);
+  Alcotest.(check bool) "the write site is flagged" true
+    (List.exists
+       (fun d -> d.Diag.rule = "S7" && d.Diag.line = 2)
+       r.Sema.diags);
+  Alcotest.(check (list string)) "only S7 fires"
+    [ "S7" ]
+    (List.sort_uniq compare (rules_of r));
+  let r = analyze [ ("bench/glob.ml", glob) ] in
+  Alcotest.(check (list string)) "module state outside lib is fine" []
+    (rules_of r);
+  let r = analyze [ ("lib/pool/glob.ml", glob) ] in
+  Alcotest.(check (list string)) "lib/pool/ is sanctioned" [] (rules_of r);
+  let r = analyze [ ("lib/obs/registry.ml", glob) ] in
+  Alcotest.(check (list string)) "the registry is sanctioned" [] (rules_of r)
+
+let test_s7_handed_to_mutator () =
+  let src =
+    "let tbl = Hashtbl.create 16\n\
+     let add t x = Hashtbl.replace t x x\n\
+     let record x = add tbl x\n"
+  in
+  let r = analyze [ ("lib/demo/glob.ml", src) ] in
+  Alcotest.(check bool) "module value handed to a mutating callee" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "S7"
+         && contains d.Diag.message "passes module-level value")
+       r.Sema.diags);
+  (* Threading caller-owned state through arguments stays clean. *)
+  let src =
+    "let add t x = Hashtbl.replace t x x\n\
+     let build xs =\n\
+    \  let t = Hashtbl.create 16 in\n\
+    \  List.iter (fun x -> add t x) xs;\n\
+    \  t\n"
+  in
+  let r = analyze [ ("lib/demo/local.ml", src) ] in
+  Alcotest.(check (list string)) "locally-owned state is fine" [] (rules_of r)
+
+(* ---- S8: declared lock order ------------------------------------------------ *)
+
+let s8_dunes =
+  [ ("lib/pool/dune", "(name mppm_pool)"); ("lib/obs/dune", "(name mppm_obs)") ]
+
+let test_s8_lock_order () =
+  let pool_locked = "let m = Mutex.create ()\nlet poke () = Mutex.lock m; Mutex.unlock m\n" in
+  let registry_bad =
+    "(* lint: allow-file S5 sanctioned registry lock *)\n\
+     let m = Mutex.create ()\n\
+     let bad () =\n\
+    \  Mutex.lock m;\n\
+    \  Mppm_pool.Pool.poke ();\n\
+    \  Mutex.unlock m\n"
+  in
+  let r =
+    analyze_dunes s8_dunes
+      [
+        ("lib/pool/pool.ml", pool_locked);
+        ("lib/obs/registry.ml", registry_bad);
+      ]
+  in
+  (match rule_diags "S8" r with
+  | [ d ] ->
+      Alcotest.(check string) "flagged in the registry" "lib/obs/registry.ml"
+        d.Diag.file;
+      Alcotest.(check bool) "states the declared order" true
+        (contains d.Diag.message "pool before registry")
+  | ds -> Alcotest.failf "expected one S8, got %d" (List.length ds));
+  Alcotest.(check (list string)) "only S8 fires" [ "S8" ] (rules_of r);
+  (* The declared direction — pool calls into the registry — is fine. *)
+  let registry_locked =
+    "(* lint: allow-file S5 sanctioned registry lock *)\n\
+     let m = Mutex.create ()\n\
+     let touch () = Mutex.lock m; Mutex.unlock m\n"
+  in
+  let pool_good =
+    "let m = Mutex.create ()\n\
+     let run () =\n\
+    \  Mutex.lock m;\n\
+    \  Mppm_obs.Registry.touch ();\n\
+    \  Mutex.unlock m\n"
+  in
+  let r =
+    analyze_dunes s8_dunes
+      [
+        ("lib/pool/pool.ml", pool_good);
+        ("lib/obs/registry.ml", registry_locked);
+      ]
+  in
+  Alcotest.(check (list string)) "pool-then-registry respects the order" []
+    (rules_of r)
+
+(* ---- Suppression of the parallel-determinism rules -------------------------- *)
+
+let test_purity_suppression () =
+  let r =
+    analyze
+      [
+        ( "lib/demo/par.ml",
+          "let run pool xs =\n\
+          \  let hits = ref 0 in\n\
+          \  (* lint: allow S6 measured: merged after the join *)\n\
+          \  Mppm_pool.Pool.map pool (fun x -> incr hits; x + 1) xs\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "line allow suppresses S6" [] (rules_of r);
+  let r =
+    analyze
+      [
+        ( "lib/demo/glob.ml",
+          "(* lint: allow-file S7 frozen at startup *)\n\
+           let total = ref 0\n\
+           let bump x = total := !total + x\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "allow-file suppresses S7" [] (rules_of r)
+
+(* ---- The effect lattice is a join-semilattice ------------------------------- *)
+
+let summary_arb =
+  let gen =
+    QCheck.Gen.map2
+      (fun bits locks ->
+        match bits with
+        | [ io; conc; rng; mt; ma; rs ] ->
+            {
+              Effects.e_io = io;
+              e_conc = conc;
+              e_rng = rng;
+              e_mut_top = mt;
+              e_mut_arg = ma;
+              e_raises = rs;
+              e_locks = List.sort_uniq compare locks;
+            }
+        | _ -> Effects.bottom)
+      (QCheck.Gen.list_size (QCheck.Gen.return 6) QCheck.Gen.bool)
+      (QCheck.Gen.list_size (QCheck.Gen.int_bound 3)
+         (QCheck.Gen.oneofl [ "pool"; "registry"; "io" ]))
+  in
+  QCheck.make gen
+
+let lattice_tests =
+  let open Effects in
+  [
+    QCheck.Test.make ~name:"merge is idempotent" ~count:500 summary_arb
+      (fun a -> equal (merge a a) a);
+    QCheck.Test.make ~name:"merge is commutative" ~count:500
+      (QCheck.pair summary_arb summary_arb) (fun (a, b) ->
+        equal (merge a b) (merge b a));
+    QCheck.Test.make ~name:"merge is associative" ~count:500
+      (QCheck.triple summary_arb summary_arb summary_arb) (fun (a, b, c) ->
+        equal (merge a (merge b c)) (merge (merge a b) c));
+    QCheck.Test.make ~name:"bottom is the identity" ~count:500 summary_arb
+      (fun a -> equal (merge a bottom) a && equal (merge bottom a) a);
+    QCheck.Test.make ~name:"merge is the least upper bound" ~count:500
+      (QCheck.pair summary_arb summary_arb) (fun (a, b) ->
+        leq a (merge a b) && leq b (merge a b));
+    QCheck.Test.make ~name:"leq is antisymmetric" ~count:500
+      (QCheck.pair summary_arb summary_arb) (fun (a, b) ->
+        (not (leq a b && leq b a)) || equal a b);
+  ]
 
 (* ---- Shared suppression --------------------------------------------------- *)
 
@@ -494,6 +815,8 @@ let tests =
           test_tree_sema_clean;
         Alcotest.test_case "S2 catches collapsed generator streams" `Quick
           test_s2_real_generator_separation;
+        Alcotest.test_case "S6 catches an injected impure task" `Quick
+          test_s6_real_experiments_injection;
       ] );
     ( "sema.rules",
       [
@@ -508,10 +831,25 @@ let tests =
         Alcotest.test_case "S5 transitive" `Quick test_s5_transitive;
         Alcotest.test_case "S5 allow absorbs taint" `Quick
           test_s5_allow_absorbs;
+        Alcotest.test_case "S6 captured ref" `Quick test_s6_captured_ref;
+        Alcotest.test_case "S6 pure tasks clean" `Quick
+          test_s6_pure_tasks_clean;
+        Alcotest.test_case "S6 tainted task path" `Quick
+          test_s6_tainted_task_path;
+        Alcotest.test_case "S6 partial application race" `Quick
+          test_s6_partial_application_race;
+        Alcotest.test_case "S6 sanctioned memo" `Quick
+          test_s6_sanctioned_memo_clean;
+        Alcotest.test_case "S7 toplevel state" `Quick test_s7_toplevel_state;
+        Alcotest.test_case "S7 handed to mutator" `Quick
+          test_s7_handed_to_mutator;
+        Alcotest.test_case "S8 lock order" `Quick test_s8_lock_order;
+        Alcotest.test_case "purity suppression" `Quick test_purity_suppression;
         Alcotest.test_case "shared suppression" `Quick test_suppression;
         Alcotest.test_case "fallback is flagged" `Quick test_fallback_is_flagged;
       ] );
-    ("sema.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ( "sema.properties",
+      List.map QCheck_alcotest.to_alcotest (qcheck_tests @ lattice_tests) );
     ( "sema.cache",
       [
         Alcotest.test_case "zero re-parses on unchanged inputs" `Quick

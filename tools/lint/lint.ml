@@ -2,11 +2,11 @@
    merged findings, exit 1 on errors.
 
    Layers: the token rules (D1 D2 F1 M1 E1 O1, Mppm_lint) and the AST
-   rules (S1 S2 S3 S4, Mppm_sema).  Both share root-relative paths and
+   rules (S1-S8, Mppm_sema).  Both share root-relative paths and
    the [(* lint: allow ... *)] suppression comments.
 
    Usage: lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]...
-                   [--fix] [--cache FILE] [--verbose] *)
+                   [--rules R1,R2] [--fix] [--cache FILE] [--verbose] *)
 
 module Diag = Mppm_lint.Diag
 module Engine = Mppm_lint.Engine
@@ -17,8 +17,8 @@ module Sarif = Mppm_lint.Sarif
 type format = Text | Json | Sarif
 
 let usage =
-  "lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]... [--fix] \
-   [--cache FILE] [--verbose]"
+  "lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]... \
+   [--rules R1,R2] [--fix] [--cache FILE] [--verbose]"
 
 let () =
   let root = ref "." in
@@ -27,6 +27,14 @@ let () =
   let fix = ref false in
   let cache_file = ref "" in
   let verbose = ref false in
+  let add_rule r =
+    if not (List.mem r Rules.all_rule_ids) then begin
+      Printf.eprintf "lint: unknown rule %s (known: %s)\n" r
+        (String.concat " " Rules.all_rule_ids);
+      exit 2
+    end;
+    only := r :: !only
+  in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR  repository root to lint (default .)");
@@ -37,15 +45,17 @@ let () =
               format := (match s with "json" -> Json | "sarif" -> Sarif | _ -> Text) ),
         "  output format (default text)" );
       ( "--only",
-        Arg.String
-          (fun r ->
-            if not (List.mem r Rules.all_rule_ids) then begin
-              Printf.eprintf "lint: unknown rule %s (known: %s)\n" r
-                (String.concat " " Rules.all_rule_ids);
-              exit 2
-            end;
-            only := r :: !only),
+        Arg.String add_rule,
         "RULE  restrict to one rule id (repeatable)" );
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            List.iter
+              (fun r ->
+                let r = String.trim r in
+                if r <> "" then add_rule r)
+              (String.split_on_char ',' s)),
+        "R1,R2  restrict to a comma-separated set of rule ids" );
       ( "--fix",
         Arg.Set fix,
         "  rewrite sources in place, applying the mechanical fixes (D1 \

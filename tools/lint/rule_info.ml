@@ -85,6 +85,29 @@ let all =
         "Concurrency containment: a lib/ function transitively reaches the \
          Domain/Mutex/Condition/Atomic surface outside lib/pool/.";
     };
+    {
+      id = "S6";
+      layer = "ast";
+      summary =
+        "Pool-task purity: a closure reaching Pool.map/map_reduce or a \
+         Single_flight memo writes captured or module-level mutable state, \
+         or shares a captured value with a callee that mutates it.";
+    };
+    {
+      id = "S7";
+      layer = "ast";
+      summary =
+        "Module-level mutable state in lib/ (ref/Hashtbl.create at \
+         toplevel, a write to one, or handing one to a mutating callee) \
+         outside the sanctioned pool/registry/invariant units.";
+    };
+    {
+      id = "S8";
+      layer = "ast";
+      summary =
+        "Lock order: lib/pool/ and the obs registry must acquire their \
+         mutexes in the declared order (pool before registry).";
+    };
   ]
 
 let all_ids = List.map (fun r -> r.id) all

@@ -3,12 +3,16 @@
 
    Each top-level function starts from its direct effects (recorded in
    Facts) and absorbs the effects of every resolvable callee to a
-   fixpoint.  Propagation of the I/O effect stops at the allowlisted
-   units: calling into the profile cache or the trace-file store is
-   sanctioned, so the caller does not inherit the I/O taint.  The
-   concurrency effect (S5) propagates the same way and is absorbed at
-   lib/pool/: calling Pool.map is sanctioned, open-coding Domain.spawn
-   elsewhere in lib/ is not. *)
+   fixpoint over an explicit join-semilattice of summaries.  Propagation
+   of the I/O effect stops at the allowlisted units: calling into the
+   profile cache or the trace-file store is sanctioned, so the caller
+   does not inherit the I/O taint.  The concurrency effect (S5) is
+   absorbed at lib/pool/ the same way, and the module-state mutation
+   effect (backing S6/S7) at the purity allowlist: the pool internals,
+   the obs registry (commutative counters) and the sanitizer's check
+   registry are allowed to hold and write module-level state without
+   tainting callers.  Lock-class sets (backing S8) propagate with no
+   absorption at all — holding a lock is never sanctioned away. *)
 
 module Diag = Mppm_lint.Diag
 
@@ -31,18 +35,94 @@ let in_conc_allowlist unit_key =
   String.length unit_key >= String.length conc_dir
   && String.sub unit_key 0 (String.length conc_dir) = conc_dir
 
+(* Units sanctioned to hold and mutate module-level state (S6/S7): the
+   registry's counters are commutative additions under one lock, and the
+   sanitizer's invariant-check registry is result-neutral by contract
+   (MPPM_SANITIZE runs are bit-for-bit identical).  lib/pool/ is included
+   so the pool's own machinery never taints its callers. *)
+let purity_allowlist = [ "lib/obs/registry"; "lib/util/invariant" ]
+
+let in_purity_allowlist unit_key =
+  in_conc_allowlist unit_key || List.mem unit_key purity_allowlist
+
+(* The declared lock ordering (S8): the pool mutex is acquired before the
+   registry mutex, never the other way around. *)
+let lock_order = [ "pool"; "registry" ]
+
+let lock_class_of_unit unit_key =
+  if in_conc_allowlist unit_key then Some "pool"
+  else if unit_key = "lib/obs/registry" then Some "registry"
+  else None
+
+let lock_rank c =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if x = c then Some i else go (i + 1) rest
+  in
+  go 0 lock_order
+
+(* ---- the summary lattice ------------------------------------------------ *)
+
+type summary = {
+  e_io : bool;
+  e_conc : bool;
+  e_rng : bool;
+  e_mut_top : bool;  (* writes module-level mutable state *)
+  e_mut_arg : bool;  (* writes caller-owned state it was handed *)
+  e_raises : bool;
+  e_locks : string list;  (* sorted distinct lock classes acquired *)
+}
+
+let bottom =
+  {
+    e_io = false;
+    e_conc = false;
+    e_rng = false;
+    e_mut_top = false;
+    e_mut_arg = false;
+    e_raises = false;
+    e_locks = [];
+  }
+
+let merge a b =
+  {
+    e_io = a.e_io || b.e_io;
+    e_conc = a.e_conc || b.e_conc;
+    e_rng = a.e_rng || b.e_rng;
+    e_mut_top = a.e_mut_top || b.e_mut_top;
+    e_mut_arg = a.e_mut_arg || b.e_mut_arg;
+    e_raises = a.e_raises || b.e_raises;
+    e_locks = List.sort_uniq compare (a.e_locks @ b.e_locks);
+  }
+
+let equal (a : summary) b = a = b
+let leq a b = equal (merge a b) b
+
+(* ---- nodes and the fixpoint --------------------------------------------- *)
+
 type node = {
-  mutable io : bool;
+  mutable s : summary;
   mutable io_witness : string;
-  mutable conc : bool;
   mutable conc_witness : string;
-  mutable rng : bool;
-  mutable mut : bool;
-  mutable raises : bool;
+  mutable mut_witness : string;
+  n_mut_arg0 : bool;
   fn : Facts.fn;
   unit_key : string;
   rel : string;
 }
+
+type info = {
+  i_summary : summary;
+  i_mut_arg0 : bool;
+      (* direct fact: the callee mutates its own first positional param *)
+  i_mut_witness : string;
+  i_unit : string;
+  i_rel : string;
+  i_fn_name : string;
+  i_fn_line : int;
+}
+
+type table = { env : Resolve.env; nodes : (string, node) Hashtbl.t }
 
 let node_key unit_key fn_name = unit_key ^ ":" ^ fn_name
 
@@ -61,6 +141,15 @@ let conc_prims_of (f : Facts.t) (fn : Facts.fn) =
              f.Facts.allows))
       fn.Facts.prim_conc
 
+(* The lock-order rule needs the raw prims: the registry's allow-file S5
+   sanctions its lock's *existence*, not its ordering. *)
+let locks_directly (fn : Facts.fn) =
+  List.exists (fun (p, _) -> p = "Mutex.lock") fn.Facts.prim_conc
+
+let has_mut scope (fn : Facts.fn) =
+  List.exists (fun (m : Facts.mutation) -> m.Facts.mut_scope = scope)
+    fn.Facts.mutations
+
 let build_nodes facts_list =
   let nodes : (string, node) Hashtbl.t = Hashtbl.create ~random:false 256 in
   List.iter
@@ -69,22 +158,44 @@ let build_nodes facts_list =
         let unit_key = Facts.unit_key_of_rel f.Facts.rel in
         List.iter
           (fun (fn : Facts.fn) ->
-            let io = fn.Facts.prim_io <> [] in
             let conc_prims = conc_prims_of f fn in
+            let mut_top = has_mut Facts.Mut_toplevel fn in
             Hashtbl.replace nodes
               (node_key unit_key fn.Facts.fn_name)
               {
-                io;
+                s =
+                  {
+                    e_io = fn.Facts.prim_io <> [];
+                    e_conc = conc_prims <> [];
+                    e_rng = fn.Facts.has_rng;
+                    e_mut_top = mut_top;
+                    e_mut_arg = has_mut Facts.Mut_arg fn;
+                    e_raises = fn.Facts.raises;
+                    e_locks =
+                      (match lock_class_of_unit unit_key with
+                      | Some c when locks_directly fn -> [ c ]
+                      | _ -> []);
+                  };
                 io_witness =
                   (match fn.Facts.prim_io with
                   | (p, _) :: _ -> p
                   | [] -> "");
-                conc = conc_prims <> [];
                 conc_witness =
                   (match conc_prims with (p, _) :: _ -> p | [] -> "");
-                rng = fn.Facts.has_rng;
-                mut = fn.Facts.mutates_global;
-                raises = fn.Facts.raises;
+                mut_witness =
+                  (if mut_top then
+                     match
+                       List.find_opt
+                         (fun (m : Facts.mutation) ->
+                           m.Facts.mut_scope = Facts.Mut_toplevel)
+                         fn.Facts.mutations
+                     with
+                     | Some m ->
+                         Printf.sprintf "writes %s via %s" m.Facts.mut_target
+                           m.Facts.mut_prim
+                     | None -> ""
+                   else "");
+                n_mut_arg0 = fn.Facts.mut_arg0;
                 fn;
                 unit_key;
                 rel = f.Facts.rel;
@@ -109,6 +220,59 @@ let callee_key env (facts : Facts.t) nodes path =
           if Hashtbl.mem nodes k then Some k else None
       | None -> None)
 
+let callee_label callee =
+  Printf.sprintf "%s.%s"
+    (String.capitalize_ascii (Filename.basename callee.unit_key))
+    callee.fn.Facts.fn_name
+
+(* Pre-fixpoint seeding: a call passing a module-level value as the first
+   positional argument of a callee that mutates its first parameter is a
+   write to toplevel state made on the caller's behalf — the shape of the
+   registry's [Counter.add counters ...]. *)
+let seed_top_arg_calls env facts_list nodes =
+  List.iter
+    (fun (f : Facts.t) ->
+      if (not f.Facts.is_mli) && not f.Facts.parse_failed then
+        let unit_key = Facts.unit_key_of_rel f.Facts.rel in
+        List.iter
+          (fun (fn : Facts.fn) ->
+            match Hashtbl.find_opt nodes (node_key unit_key fn.Facts.fn_name) with
+            | None -> ()
+            | Some node ->
+                List.iter
+                  (fun (path, target, _line) ->
+                    match callee_key env f nodes path with
+                    | None -> ()
+                    | Some k ->
+                        let callee = Hashtbl.find nodes k in
+                        if
+                          callee.n_mut_arg0
+                          && (not (in_purity_allowlist callee.unit_key))
+                          && not node.s.e_mut_top
+                        then begin
+                          node.s <- { node.s with e_mut_top = true };
+                          node.mut_witness <-
+                            Printf.sprintf "passes module state %s to %s"
+                              target (callee_label callee)
+                        end)
+                  fn.Facts.top_arg_calls)
+          f.Facts.fns)
+    facts_list
+
+(* What a caller inherits from [callee]: its summary with the effects the
+   callee's unit is sanctioned to absorb masked off.  The caller-owned
+   mutation bit never propagates — it describes the callee's own
+   parameters, not the caller's. *)
+let contribution callee =
+  let s = callee.s in
+  let s = if List.mem callee.unit_key allowlist then { s with e_io = false } else s in
+  let s = if in_conc_allowlist callee.unit_key then { s with e_conc = false } else s in
+  let s =
+    if in_purity_allowlist callee.unit_key then { s with e_mut_top = false }
+    else s
+  in
+  { s with e_mut_arg = false }
+
 let propagate env facts_list nodes =
   let changed = ref true in
   while !changed do
@@ -129,42 +293,21 @@ let propagate env facts_list nodes =
                       | Some k ->
                           let callee = Hashtbl.find nodes k in
                           if callee != node then begin
-                            if
-                              callee.io
-                              && (not (List.mem callee.unit_key allowlist))
-                              && not node.io
-                            then begin
-                              node.io <- true;
-                              node.io_witness <-
-                                Printf.sprintf "call to %s.%s"
-                                  (String.capitalize_ascii
-                                     (Filename.basename callee.unit_key))
-                                  callee.fn.Facts.fn_name;
-                              changed := true
-                            end;
-                            if
-                              callee.conc
-                              && (not (in_conc_allowlist callee.unit_key))
-                              && not node.conc
-                            then begin
-                              node.conc <- true;
-                              node.conc_witness <-
-                                Printf.sprintf "call to %s.%s"
-                                  (String.capitalize_ascii
-                                     (Filename.basename callee.unit_key))
-                                  callee.fn.Facts.fn_name;
-                              changed := true
-                            end;
-                            if callee.rng && not node.rng then begin
-                              node.rng <- true;
-                              changed := true
-                            end;
-                            if callee.mut && not node.mut then begin
-                              node.mut <- true;
-                              changed := true
-                            end;
-                            if callee.raises && not node.raises then begin
-                              node.raises <- true;
+                            let merged = merge node.s (contribution callee) in
+                            if not (equal merged node.s) then begin
+                              if merged.e_io && not node.s.e_io then
+                                node.io_witness <-
+                                  Printf.sprintf "call to %s"
+                                    (callee_label callee);
+                              if merged.e_conc && not node.s.e_conc then
+                                node.conc_witness <-
+                                  Printf.sprintf "call to %s"
+                                    (callee_label callee);
+                              if merged.e_mut_top && not node.s.e_mut_top then
+                                node.mut_witness <-
+                                  Printf.sprintf "call to %s"
+                                    (callee_label callee);
+                              node.s <- merged;
                               changed := true
                             end
                           end)
@@ -173,16 +316,36 @@ let propagate env facts_list nodes =
       facts_list
   done
 
+let build env facts_list =
+  let nodes = build_nodes facts_list in
+  seed_top_arg_calls env facts_list nodes;
+  propagate env facts_list nodes;
+  { env; nodes }
+
+let info_of node =
+  {
+    i_summary = node.s;
+    i_mut_arg0 = node.n_mut_arg0;
+    i_mut_witness = node.mut_witness;
+    i_unit = node.unit_key;
+    i_rel = node.rel;
+    i_fn_name = node.fn.Facts.fn_name;
+    i_fn_line = node.fn.Facts.fn_line;
+  }
+
+let find t (facts : Facts.t) path =
+  match callee_key t.env facts t.nodes path with
+  | Some k -> Some (info_of (Hashtbl.find t.nodes k))
+  | None -> None
+
 let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
 
-let check env facts_list =
-  let nodes = build_nodes facts_list in
-  propagate env facts_list nodes;
+let check t =
   let diags = ref [] in
   Hashtbl.iter
     (fun _ node ->
       if
-        node.io && in_lib node.rel
+        node.s.e_io && in_lib node.rel
         && not (List.mem node.unit_key allowlist)
       then
         diags :=
@@ -200,7 +363,7 @@ let check env facts_list =
           }
           :: !diags;
       if
-        node.conc && in_lib node.rel
+        node.s.e_conc && in_lib node.rel
         && not (in_conc_allowlist node.unit_key)
       then
         diags :=
@@ -217,22 +380,22 @@ let check env facts_list =
                 node.fn.Facts.fn_name node.conc_witness;
           }
           :: !diags)
-    nodes;
+    t.nodes;
   List.sort Diag.compare !diags
 
-let summaries env facts_list =
-  let nodes = build_nodes facts_list in
-  propagate env facts_list nodes;
+let summaries t =
   Hashtbl.fold
     (fun _ node acc ->
       let effects =
         List.filter_map
           (fun (name, on) -> if on then Some name else None)
           [
-            ("io", node.io); ("conc", node.conc); ("rng", node.rng);
-            ("mut-global", node.mut); ("raises", node.raises);
+            ("io", node.s.e_io); ("conc", node.s.e_conc);
+            ("rng", node.s.e_rng); ("mut-top", node.s.e_mut_top);
+            ("mut-arg", node.s.e_mut_arg); ("raises", node.s.e_raises);
           ]
+        @ List.map (fun c -> "lock:" ^ c) node.s.e_locks
       in
       (node.rel, node.fn.Facts.fn_name, String.concat "," effects) :: acc)
-    nodes []
+    t.nodes []
   |> List.sort compare

@@ -6,6 +6,40 @@
    here is a heuristic; the rules built on top are tuned to be zero-noise
    on this tree (asserted by the test suite). *)
 
+type mut_scope =
+  | Mut_local  (* target is let-bound to a fresh mutable allocation *)
+  | Mut_arg  (* target is bound somewhere in the function (param, let,
+                match case) but not to a visible fresh allocation *)
+  | Mut_toplevel  (* target is free in the function: module-level state
+                     of this unit, or a qualified path into another *)
+
+type mutation = {
+  mut_target : string;
+  mut_prim : string;  (* ":=", "<-", "Hashtbl.replace", ... *)
+  mut_scope : mut_scope;
+  mut_line : int;
+}
+
+type closure = {
+  ct_line : int;
+  ct_writes : (string * string * string * int) list;
+      (* (target, prim, "captured"|"toplevel", line): writes whose target
+         is not bound inside the closure *)
+  ct_calls : string list list;
+      (* every value path referenced inside the closure, alias-expanded *)
+  ct_escaping : (string list * string * int) list;
+      (* (callee, ident, line): calls whose first positional argument is
+         an identifier captured from outside the closure *)
+}
+
+type task =
+  | Task_path of string list * string option
+      (* a named task, possibly partially applied; the option is the
+         first positional identifier applied at the call site *)
+  | Task_closure of closure
+
+type pool_call = { pc_entry : string; pc_line : int; pc_tasks : task list }
+
 type fn = {
   fn_name : string;
   fn_line : int;
@@ -17,7 +51,12 @@ type fn = {
   prim_conc : (string * int) list;
       (* (primitive, line) of direct Domain/Mutex/Condition/Atomic use *)
   has_rng : bool;
-  mutates_global : bool;
+  mutations : mutation list;  (* direct writes, scope-classified *)
+  mut_arg0 : bool;  (* mutates its own first positional parameter *)
+  pool_calls : pool_call list;  (* Pool.map/map_reduce/Single_flight sites *)
+  top_arg_calls : (string list * string * int) list;
+      (* (callee, ident, line): calls passing a module-level value as the
+         first positional argument *)
   raises : bool;
 }
 
@@ -37,6 +76,8 @@ type t = {
   mli_vals : (string * int) list;  (* .mli val items: (name, line) *)
   rng_creates : rng_create list;
   float_accums : float_accum list;
+  toplevel_muts : (string * string * int) list;
+      (* (name, kind, line): module-level mutable allocations *)
   allows : (string * int) list;
   allow_files : string list;
 }
@@ -100,6 +141,118 @@ let raise_prims = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
 
 let float_ops = [ "+."; "-."; "*."; "/." ]
 
+(* ---- mutation primitives ----------------------------------------------- *)
+
+let bigarray_modules = [ "Array0"; "Array1"; "Array2"; "Array3"; "Genarray" ]
+
+(* Stdlib functions whose application allocates a fresh mutable value; a
+   name let-bound to one of these is local state, not shared state. *)
+let alloc_prim_of_path path =
+  let named m kind members =
+    if List.mem m members then Some kind else None
+  in
+  match path with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | _ -> (
+      match List.rev path with
+      | m :: "Hashtbl" :: _ -> named m ("Hashtbl." ^ m) [ "create"; "copy" ]
+      | m :: "Array" :: _ ->
+          named m ("Array." ^ m)
+            [
+              "make"; "create"; "init"; "copy"; "sub"; "of_list"; "append";
+              "concat"; "make_matrix"; "map"; "mapi"; "of_seq";
+            ]
+      | m :: "Bytes" :: _ ->
+          named m ("Bytes." ^ m)
+            [ "create"; "make"; "init"; "copy"; "sub"; "of_string" ]
+      | m :: "Buffer" :: _ -> named m ("Buffer." ^ m) [ "create" ]
+      | m :: "Queue" :: _ -> named m ("Queue." ^ m) [ "create"; "copy" ]
+      | m :: "Stack" :: _ -> named m ("Stack." ^ m) [ "create"; "copy" ]
+      | m :: "Atomic" :: _ -> named m ("Atomic." ^ m) [ "make" ]
+      | m :: "Mutex" :: _ -> named m ("Mutex." ^ m) [ "create" ]
+      | m :: "Condition" :: _ -> named m ("Condition." ^ m) [ "create" ]
+      | m :: b :: _ when List.mem b bigarray_modules ->
+          named m (b ^ "." ^ m) [ "create"; "init"; "of_array" ]
+      | _ -> None)
+
+(* Stdlib write primitives: [Some (name, i)] means the [i]-th positional
+   argument is the mutated value. *)
+let write_prim_of_path path =
+  let named m kind members idx =
+    if List.mem m members then Some (kind, idx) else None
+  in
+  match path with
+  | [ ":=" ] | [ "Stdlib"; ":=" ] -> Some (":=", 0)
+  | [ ("incr" | "decr") as p ] | [ "Stdlib"; (("incr" | "decr") as p) ] ->
+      Some (p, 0)
+  | _ -> (
+      match List.rev path with
+      | "blit" :: "Array" :: _ -> Some ("Array.blit", 2)
+      | m :: "Array" :: _ when List.mem m [ "sort"; "fast_sort"; "stable_sort" ]
+        ->
+          (* The comparison function comes first; the array is mutated. *)
+          Some ("Array." ^ m, 1)
+      | m :: "Array" :: _ ->
+          named m ("Array." ^ m) [ "set"; "unsafe_set"; "fill" ] 0
+      | ("blit" | "blit_string") :: "Bytes" :: _ -> Some ("Bytes.blit", 2)
+      | m :: "Bytes" :: _ ->
+          named m ("Bytes." ^ m) [ "set"; "unsafe_set"; "fill" ] 0
+      | "filter_map_inplace" :: "Hashtbl" :: _ ->
+          Some ("Hashtbl.filter_map_inplace", 1)
+      | m :: "Hashtbl" :: _ ->
+          named m ("Hashtbl." ^ m)
+            [ "add"; "replace"; "remove"; "reset"; "clear" ]
+            0
+      | m :: "Buffer" :: _ when String.length m >= 4 && String.sub m 0 4 = "add_"
+        ->
+          Some ("Buffer." ^ m, 0)
+      | m :: "Buffer" :: _ ->
+          named m ("Buffer." ^ m) [ "clear"; "reset"; "truncate" ] 0
+      | m :: "Queue" :: _ when m = "add" || m = "push" || m = "transfer" ->
+          Some ("Queue." ^ m, 1)
+      | m :: "Queue" :: _ ->
+          named m ("Queue." ^ m) [ "take"; "pop"; "clear" ] 0
+      | "push" :: "Stack" :: _ -> Some ("Stack.push", 1)
+      | m :: "Stack" :: _ -> named m ("Stack." ^ m) [ "pop"; "clear" ] 0
+      | m :: "Atomic" :: _ ->
+          named m ("Atomic." ^ m)
+            [
+              "set"; "exchange"; "compare_and_set"; "fetch_and_add"; "incr";
+              "decr";
+            ]
+            0
+      | "blit" :: b :: _ when List.mem b bigarray_modules ->
+          Some (b ^ ".blit", 1)
+      | m :: b :: _ when List.mem b bigarray_modules ->
+          named m (b ^ "." ^ m) [ "set"; "unsafe_set"; "fill" ] 0
+      | _ -> None)
+
+(* Entries of the parallel surface whose function argument runs on pool
+   worker domains (or is shared by them): the S6 purity boundary. *)
+let pool_entry_of_path path =
+  match List.rev path with
+  | m :: "Pool" :: _ when m = "map" || m = "map_reduce" -> Some ("Pool." ^ m)
+  | m :: "Single_flight" :: _ when m = "get" || m = "run_or_wait" ->
+      Some ("Single_flight." ^ m)
+  | _ -> None
+
+(* Module-level bindings to these shapes are the S7 inventory.  Mutable
+   records and toplevel arrays are deliberately absent: they are caught at
+   their write sites instead, so constant tables stay unflagged. *)
+let toplevel_mut_kind_of_path path =
+  match path with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | _ -> (
+      match List.rev path with
+      | "create" :: m :: _
+        when List.mem m
+               [ "Hashtbl"; "Buffer"; "Queue"; "Stack"; "Mutex"; "Condition" ]
+        ->
+          Some (m ^ ".create")
+      | ("create" | "make") :: "Bytes" :: _ -> Some "Bytes.create"
+      | "make" :: "Atomic" :: _ -> Some "Atomic.make"
+      | _ -> None)
+
 (* ---- expression scanning ---------------------------------------------- *)
 
 let line_of_expr e = e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
@@ -161,12 +314,125 @@ let applies_hashtbl_to_seq aliases e =
       | _ -> false)
     e
 
+(* The identifier ultimately mutated by a write: the head of a (possibly
+   nested) field chain.  Unknown shapes (computed targets) yield None and
+   the write is conservatively not recorded. *)
+let rec target_ident e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [] -> None
+      | [ v ] -> Some (v, false)
+      | path -> Some (String.concat "." path, true))
+  | Parsetree.Pexp_field (e, _) -> target_ident e
+  | Parsetree.Pexp_constraint (e, _) -> target_ident e
+  | _ -> None
+
+let nth_positional args i =
+  let positional = List.filter (fun (l, _) -> l = Asttypes.Nolabel) args in
+  match List.nth_opt positional i with Some (_, a) -> Some a | None -> None
+
+let first_positional_ident args =
+  match nth_positional args 0 with
+  | Some { Parsetree.pexp_desc = Parsetree.Pexp_ident { txt = Longident.Lident v; _ }; _ }
+    ->
+      Some v
+  | _ -> None
+
+(* The task argument of a parallel entry: Pool.map's second positional
+   argument, Pool.map_reduce's ~map, a Single_flight memo's third. *)
+let task_arg_of_entry entry args =
+  match entry with
+  | "Pool.map_reduce" ->
+      List.find_map
+        (fun (l, a) -> if l = Asttypes.Labelled "map" then Some a else None)
+        args
+  | "Pool.map" -> nth_positional args 1
+  | _ -> nth_positional args 2
+
+(* Names bound anywhere inside [e] (params, lets, match cases — flat,
+   shadowing-insensitive) and the subset let-bound to a fresh mutable
+   allocation. *)
+let binding_env aliases e =
+  let bound = ref [] in
+  let alloc = ref [] in
+  let rec shallow_names p =
+    match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> [ txt ]
+    | Parsetree.Ppat_constraint (p, _) -> shallow_names p
+    | Parsetree.Ppat_tuple ps -> List.concat_map shallow_names ps
+    | Parsetree.Ppat_alias (p, { txt; _ }) -> txt :: shallow_names p
+    | _ -> []
+  in
+  let rec allocates rhs =
+    match rhs.Parsetree.pexp_desc with
+    | Parsetree.Pexp_array _ | Parsetree.Pexp_record _ -> true
+    | Parsetree.Pexp_constraint (e, _) -> allocates e
+    | Parsetree.Pexp_apply (head, _) ->
+        alloc_prim_of_path (head_path aliases head) <> None
+    | _ -> false
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } -> bound := txt :: !bound
+          | Parsetree.Ppat_alias (_, { txt; _ }) -> bound := txt :: !bound
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  if allocates vb.Parsetree.pvb_expr then
+                    alloc := shallow_names vb.Parsetree.pvb_pat @ !alloc)
+                vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  (!bound, !alloc)
+
+let rec first_positional_param e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (Asttypes.Nolabel, _, pat, _) -> (
+      match pat.Parsetree.ppat_desc with
+      | Parsetree.Ppat_var { txt; _ } -> Some txt
+      | Parsetree.Ppat_constraint
+          ({ Parsetree.ppat_desc = Parsetree.Ppat_var { txt; _ }; _ }, _) ->
+          Some txt
+      | _ -> None)
+  | Parsetree.Pexp_fun (_, _, _, rest) -> first_positional_param rest
+  | Parsetree.Pexp_newtype (_, rest) -> first_positional_param rest
+  | Parsetree.Pexp_constraint (e, _) -> first_positional_param e
+  | _ -> None
+
+let rec positional_params e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (Asttypes.Nolabel, _, pat, rest) ->
+      let name =
+        match pat.Parsetree.ppat_desc with
+        | Parsetree.Ppat_var { txt; _ } -> txt
+        | _ -> "_"
+      in
+      name :: positional_params rest
+  | Parsetree.Pexp_fun (_, _, _, rest) -> positional_params rest
+  | Parsetree.Pexp_newtype (_, rest) -> positional_params rest
+  | Parsetree.Pexp_constraint (e, _) -> positional_params e
+  | _ -> []
+
 (* ---- per-file extraction ----------------------------------------------- *)
 
 type state = {
   mutable st_opens : string list list;
   mutable st_aliases : (string * string list) list;
   mutable st_toplevel : string list;
+  mutable st_topmuts : (string * string * int) list;
   mutable st_fns : fn list;
   mutable st_refs : string list list;
   mutable st_creates : rng_create list;
@@ -181,6 +447,97 @@ let rec pattern_names p =
   | Parsetree.Ppat_alias (p, { txt; _ }) -> txt :: pattern_names p
   | _ -> []
 
+(* Summarize a closure handed to the parallel surface: writes to values
+   it does not bind itself, every path it references, and captured
+   identifiers it passes as a callee's first (potentially mutated)
+   positional argument. *)
+let summarize_closure st lambda =
+  let bound, _alloc = binding_env st.st_aliases lambda in
+  let writes = ref [] in
+  let calls = ref [] in
+  let escaping = ref [] in
+  let record_write line target prim =
+    match target_ident target with
+    | Some (v, qualified) when qualified || not (List.mem v bound) ->
+        let scope =
+          if qualified || List.mem v st.st_toplevel then "toplevel"
+          else "captured"
+        in
+        writes := (v, prim, scope, line) :: !writes
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } ->
+              let path = expand st.st_aliases (flatten txt) in
+              if path <> [] then calls := path :: !calls
+          | Parsetree.Pexp_setfield (target, _, _) ->
+              record_write (line_of_expr e) target "<-"
+          | Parsetree.Pexp_apply (head, args) -> (
+              let line = line_of_expr e in
+              let path = head_path st.st_aliases head in
+              (match write_prim_of_path path with
+              | Some (prim, idx) -> (
+                  match nth_positional args idx with
+                  | Some target -> record_write line target prim
+                  | None -> ())
+              | None -> ());
+              match (path, first_positional_ident args) with
+              | _ :: _, Some v when not (List.mem v bound) ->
+                  escaping := (path, v, line) :: !escaping
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it lambda;
+  {
+    ct_line = line_of_expr lambda;
+    ct_writes = List.rev !writes;
+    ct_calls = List.sort_uniq compare !calls;
+    ct_escaping = List.rev !escaping;
+  }
+
+(* A let-bound local function that forwards one of its own positional
+   parameters as the task of a parallel entry is a sink: calls to it are
+   pool calls, with the task at the forwarded parameter's index. *)
+let sink_index_of st lambda =
+  let params = positional_params lambda in
+  let found = ref None in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (head, args) -> (
+              match pool_entry_of_path (head_path st.st_aliases head) with
+              | Some entry -> (
+                  match task_arg_of_entry entry args with
+                  | Some
+                      {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_ident { txt = Longident.Lident v; _ };
+                        _;
+                      } -> (
+                      match
+                        List.find_index (fun p -> p = v) params
+                      with
+                      | Some i when !found = None -> found := Some i
+                      | _ -> ())
+                  | _ -> ())
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it lambda;
+  !found
+
 (* Scan one top-level binding body, accumulating the fn summary. *)
 let scan_body st ~fn_name ~fn_line body =
   let calls = ref [] in
@@ -188,8 +545,17 @@ let scan_body st ~fn_name ~fn_line body =
   let prim_io = ref [] in
   let prim_conc = ref [] in
   let has_rng = ref false in
-  let mutates_global = ref false in
+  let mutations = ref [] in
+  let pool_calls = ref [] in
+  let top_arg_calls = ref [] in
   let raises = ref false in
+  let fn_bound, fn_alloc = binding_env st.st_aliases body in
+  let first_param = first_positional_param body in
+  (* Let-bound local lambdas, so a task referenced by name is analyzed as
+     the closure it is, and local pool-forwarding wrappers act as
+     entries. *)
+  let local_lambdas = ref [] in
+  let local_sinks = ref [] in
   (* Function-wide map of [let v = expr.field] aliases, so a draw through a
      local binding still resolves to the record field. *)
   let field_aliases = ref [] in
@@ -211,6 +577,38 @@ let scan_body st ~fn_name ~fn_line body =
       | Some _ -> has_rng := true
       | None -> ()
     end
+  in
+  let record_mutation line target prim =
+    match target_ident target with
+    | None -> ()
+    | Some (v, qualified) ->
+        let scope =
+          if qualified then Mut_toplevel
+          else if List.mem v fn_alloc then Mut_local
+          else if List.mem v fn_bound then Mut_arg
+          else Mut_toplevel
+        in
+        mutations :=
+          { mut_target = v; mut_prim = prim; mut_scope = scope; mut_line = line }
+          :: !mutations
+  in
+  let rec tasks_of_expr e =
+    if is_fun e then [ Task_closure (summarize_closure st e) ]
+    else
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_constraint (e, _) -> tasks_of_expr e
+      | Parsetree.Pexp_ident { txt; _ } -> (
+          let path = expand st.st_aliases (flatten txt) in
+          match path with
+          | [] -> []
+          | [ name ] when List.mem_assoc name !local_lambdas ->
+              [ Task_closure (summarize_closure st (List.assoc name !local_lambdas)) ]
+          | _ -> [ Task_path (path, None) ])
+      | Parsetree.Pexp_apply (head, hargs) -> (
+          match head_path st.st_aliases head with
+          | [] -> []
+          | path -> [ Task_path (path, first_positional_ident hargs) ])
+      | _ -> []
   in
   let rng_field_of_arg e =
     match e.Parsetree.pexp_desc with
@@ -250,26 +648,62 @@ let scan_body st ~fn_name ~fn_line body =
                       match List.rev (flatten txt) with
                       | f :: _ -> field_aliases := (v, f) :: !field_aliases
                       | [] -> ())
+                  | Parsetree.Ppat_var { txt = v; _ }, _
+                    when is_fun vb.Parsetree.pvb_expr ->
+                      local_lambdas :=
+                        (v, vb.Parsetree.pvb_expr) :: !local_lambdas;
+                      (match sink_index_of st vb.Parsetree.pvb_expr with
+                      | Some i -> local_sinks := (v, i) :: !local_sinks
+                      | None -> ())
                   | _ -> ())
                 vbs
-          | Parsetree.Pexp_setfield (target, _, _) -> (
-              match target.Parsetree.pexp_desc with
-              | Parsetree.Pexp_ident { txt = Longident.Lident v; _ }
-                when List.mem v st.st_toplevel ->
-                  mutates_global := true
-              | _ -> ())
+          | Parsetree.Pexp_setfield (target, _, _) ->
+              record_mutation (line_of_expr e) target "<-"
           | Parsetree.Pexp_apply (head, args) -> (
               let line = line_of_expr e in
               let path = head_path st.st_aliases head in
-              (* [x := e] on a module-level ref *)
-              (match (path, args) with
-              | [ ":=" ], (Asttypes.Nolabel, lhs) :: _ -> (
-                  match lhs.Parsetree.pexp_desc with
-                  | Parsetree.Pexp_ident { txt = Longident.Lident v; _ }
-                    when List.mem v st.st_toplevel ->
-                      mutates_global := true
-                  | _ -> ())
+              (* Direct writes through stdlib mutation primitives *)
+              (match write_prim_of_path path with
+              | Some (prim, idx) -> (
+                  match nth_positional args idx with
+                  | Some target -> record_mutation line target prim
+                  | None -> ())
+              | None -> ());
+              (* A module-level value passed as a callee's first positional
+                 argument: pairs with the callee's mut_arg0 to detect
+                 writes to toplevel state made on its behalf. *)
+              (match first_positional_ident args with
+              | Some v when List.mem v st.st_toplevel && path <> [] ->
+                  top_arg_calls := (path, v, line) :: !top_arg_calls
               | _ -> ());
+              (* Parallel entries and local forwarding sinks (S6) *)
+              (let entry =
+                 match pool_entry_of_path path with
+                 | Some e -> Some (e, None)
+                 | None -> (
+                     match path with
+                     | [ name ] -> (
+                         match List.assoc_opt name !local_sinks with
+                         | Some i -> Some ("Pool.map via " ^ name, Some i)
+                         | None -> None)
+                     | _ -> None)
+               in
+               match entry with
+               | Some (entry_name, sink_idx) ->
+                   let task_expr =
+                     match sink_idx with
+                     | Some i -> nth_positional args i
+                     | None -> task_arg_of_entry entry_name args
+                   in
+                   let pc_tasks =
+                     match task_expr with
+                     | Some e -> tasks_of_expr e
+                     | None -> []
+                   in
+                   pool_calls :=
+                     { pc_entry = entry_name; pc_line = line; pc_tasks }
+                     :: !pool_calls
+               | None -> ());
               (* Rng call classification *)
               (match rng_member_of_path path with
               | Some "create" ->
@@ -328,6 +762,7 @@ let scan_body st ~fn_name ~fn_line body =
     }
   in
   it.expr it body;
+  let mutations = List.rev !mutations in
   {
     fn_name;
     fn_line;
@@ -336,14 +771,23 @@ let scan_body st ~fn_name ~fn_line body =
     prim_io = List.rev !prim_io;
     prim_conc = List.rev !prim_conc;
     has_rng = !has_rng;
-    mutates_global = !mutates_global;
+    mutations;
+    mut_arg0 =
+      (match first_param with
+      | Some p ->
+          List.exists
+            (fun m -> m.mut_scope = Mut_arg && m.mut_target = p)
+            mutations
+      | None -> false);
+    pool_calls = List.rev !pool_calls;
+    top_arg_calls = List.rev !top_arg_calls;
     raises = !raises;
   }
 
 let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
 
-(* First pass: module-level opens, aliases and value names, recursing into
-   inline submodule structures. *)
+(* First pass: module-level opens, aliases, value names and mutable
+   allocations, recursing into inline submodule structures. *)
 let rec collect_scaffolding st items =
   List.iter
     (fun item ->
@@ -368,7 +812,22 @@ let rec collect_scaffolding st items =
           List.iter
             (fun vb ->
               st.st_toplevel <-
-                pattern_names vb.Parsetree.pvb_pat @ st.st_toplevel)
+                pattern_names vb.Parsetree.pvb_pat @ st.st_toplevel;
+              let rec alloc_kind rhs =
+                match rhs.Parsetree.pexp_desc with
+                | Parsetree.Pexp_constraint (e, _) -> alloc_kind e
+                | Parsetree.Pexp_apply (head, _) ->
+                    toplevel_mut_kind_of_path (head_path st.st_aliases head)
+                | _ -> None
+              in
+              match
+                (pattern_names vb.Parsetree.pvb_pat, alloc_kind vb.Parsetree.pvb_expr)
+              with
+              | name :: _, Some kind ->
+                  st.st_topmuts <-
+                    (name, kind, line_of_loc vb.Parsetree.pvb_loc)
+                    :: st.st_topmuts
+              | _ -> ())
             vbs
       | _ -> ())
     items
@@ -441,6 +900,7 @@ let extract ~rel content =
       mli_vals = [];
       rng_creates = [];
       float_accums = [];
+      toplevel_muts = [];
       allows = lx.Mppm_lint.Lexer.allows;
       allow_files = lx.Mppm_lint.Lexer.allow_files;
     }
@@ -457,6 +917,7 @@ let extract ~rel content =
             st_opens = [];
             st_aliases = [];
             st_toplevel = [];
+            st_topmuts = [];
             st_fns = [];
             st_refs = [];
             st_creates = [];
@@ -473,5 +934,6 @@ let extract ~rel content =
           refs = List.sort_uniq compare st.st_refs;
           rng_creates = List.rev st.st_creates;
           float_accums = List.rev st.st_accums;
+          toplevel_muts = List.rev st.st_topmuts;
         }
     | None -> { base with parse_failed = true }

@@ -2,9 +2,61 @@
 
     Facts are plain serializable data (no AST nodes), so they can be
     cached by source fingerprint ({!Cache}) and re-fed to the cross-module
-    passes ({!Effects}, {!Seedflow}, S4 in {!Sema}) without re-parsing.
-    Extraction is purely syntactic; every judgment is a heuristic tuned to
-    be zero-noise on this tree. *)
+    passes ({!Effects}, {!Seedflow}, {!Purity}, S4 in {!Sema}) without
+    re-parsing.  Extraction is purely syntactic; every judgment is a
+    heuristic tuned to be zero-noise on this tree. *)
+
+type mut_scope =
+  | Mut_local
+      (** the mutated value is let-bound to a fresh mutable allocation
+          ([ref]/[Array.make]/[Hashtbl.create]/...) inside the function *)
+  | Mut_arg
+      (** the mutated value is bound somewhere in the function (a
+          parameter, [let], or match case) but not to a visible fresh
+          allocation — typically caller-owned state *)
+  | Mut_toplevel
+      (** the mutated value is free in the function: module-level state
+          of this unit, or a qualified path into another unit *)
+
+type mutation = {
+  mut_target : string;  (** identifier (or qualified path) being written *)
+  mut_prim : string;  (** [":="], ["<-"], ["Hashtbl.replace"], ... *)
+  mut_scope : mut_scope;
+  mut_line : int;
+}
+(** One direct write site: a [:=]/[<-] assignment or a stdlib mutation
+    primitive over refs, arrays, [Bytes], [Hashtbl], [Buffer], [Queue],
+    [Stack], [Atomic] or [Bigarray] values. *)
+
+type closure = {
+  ct_line : int;
+  ct_writes : (string * string * string * int) list;
+      (** [(target, prim, scope, line)] writes to values the closure does
+          not bind itself; [scope] is ["captured"] or ["toplevel"] *)
+  ct_calls : string list list;
+      (** every value path referenced inside the closure, alias-expanded *)
+  ct_escaping : (string list * string * int) list;
+      (** [(callee, ident, line)] calls whose first positional argument
+          is an identifier captured from outside the closure — paired
+          with the callee's [mut_arg0] this detects shared state mutated
+          on the closure's behalf *)
+}
+(** The S6 summary of a closure handed to the parallel surface. *)
+
+type task =
+  | Task_path of string list * string option
+      (** a named task, possibly partially applied; the option is the
+          first positional identifier applied at the call site *)
+  | Task_closure of closure  (** an inline (or let-bound local) lambda *)
+
+type pool_call = {
+  pc_entry : string;
+      (** ["Pool.map"], ["Pool.map_reduce"], ["Single_flight.get"], or
+          ["Pool.map via <local wrapper>"] *)
+  pc_line : int;
+  pc_tasks : task list;
+}
+(** One call site handing work to pool domains or a single-flight memo. *)
 
 type fn = {
   fn_name : string;  (** top-level binding name, or ["(init:<line>)"] *)
@@ -20,10 +72,18 @@ type fn = {
   prim_conc : (string * int) list;
       (** [(primitive, line)] for each direct use of the OCaml 5
           concurrency surface ([Domain]/[Mutex]/[Condition]/[Atomic]);
-          feeds the S5 containment rule *)
+          feeds the S5 containment and S8 lock-order rules *)
   has_rng : bool;  (** the body calls into [Mppm_util.Rng] *)
-  mutates_global : bool;
-      (** the body assigns ([:=] or [<-]) a module-level value *)
+  mutations : mutation list;
+      (** every direct write site in the body, scope-classified *)
+  mut_arg0 : bool;
+      (** the body directly mutates its own first positional parameter
+          (the shape of every [Rng] draw and in-place simulator step) *)
+  pool_calls : pool_call list;
+      (** calls into the parallel surface, with their tasks *)
+  top_arg_calls : (string list * string * int) list;
+      (** [(callee, ident, line)] calls passing a module-level value as
+          the callee's first positional argument *)
   raises : bool;  (** the body applies [raise]/[failwith]/[invalid_arg] *)
 }
 
@@ -53,6 +113,11 @@ type t = {
   mli_vals : (string * int) list;  (** [.mli] [val] items: [(name, line)] *)
   rng_creates : rng_create list;
   float_accums : float_accum list;
+  toplevel_muts : (string * string * int) list;
+      (** [(name, kind, line)] module-level mutable allocations — the S7
+          inventory ([ref]/[Hashtbl.create]/[Buffer.create]/...).
+          Mutable records and toplevel arrays are caught at their write
+          sites instead, so constant tables stay unflagged. *)
   allows : (string * int) list;  (** line-scoped suppressions (shared
       syntax with the token layer) *)
   allow_files : string list;  (** file-scoped suppressions *)

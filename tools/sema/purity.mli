@@ -1,0 +1,17 @@
+(** S6/S7/S8: the parallel-determinism rules over mutation facts and the
+    closed effect lattice.
+
+    S6 proves every closure reaching [Pool.map]/[Pool.map_reduce]/a
+    [Single_flight] memo observationally pure: no writes to captured or
+    module-level mutable state, no calls reaching such a write outside
+    the purity allowlist, and no captured value shared with a callee that
+    mutates its first argument.  S7 forbids module-level mutable state in
+    [lib/] outside the sanctioned memo/registry units — the allocation,
+    a write to one, or handing one to a mutating callee.  S8 enforces the
+    declared lock order ({!Effects.lock_order}: pool before registry) on
+    every [Mutex.lock] in the lock-owning units. *)
+
+val check : Effects.table -> Facts.t list -> Mppm_lint.Diag.t list
+(** All S6/S7/S8 findings (errors), deduplicated and sorted in
+    {!Mppm_lint.Diag.compare} order.  Suppression is applied by the
+    caller ({!Sema.analyze}). *)

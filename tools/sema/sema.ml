@@ -1,10 +1,12 @@
 (* Top-level driver of the AST analysis layer.
 
-   Extraction (per file, cacheable) feeds four cross-checks: S1 effect
+   Extraction (per file, cacheable) feeds the cross-checks: S1/S5 effect
    containment (Effects), S2 seed-flow (Seedflow), S3 order-sensitive
-   float accumulation and S4 dead exports (here).  Suppression reuses the
-   token layer's [(* lint: allow ... *)] semantics via Engine.suppress,
-   so one comment silences findings from either layer. *)
+   float accumulation and S4 dead exports (here), and the S6/S7/S8
+   parallel-determinism rules (Purity) over the closed effect table.
+   Suppression reuses the token layer's [(* lint: allow ... *)] semantics
+   via Engine.suppress, so one comment silences findings from either
+   layer. *)
 
 module Diag = Mppm_lint.Diag
 module Engine = Mppm_lint.Engine
@@ -136,9 +138,11 @@ let analyze ?cache_file ~dunes inputs =
     Resolve.build ~dunes
       ~files:(List.map (fun (f : Facts.t) -> f.Facts.rel) facts_list)
   in
+  let table = Effects.build env facts_list in
   let raw =
-    Effects.check env facts_list
+    Effects.check table
     @ Seedflow.check facts_list
+    @ Purity.check table facts_list
     @ s3 facts_list
     @ s4 env facts_list
   in
@@ -165,7 +169,7 @@ let analyze ?cache_file ~dunes inputs =
     parses = !parses;
     cache_hits = !hits;
     fallbacks = !fallbacks;
-    summaries = Effects.summaries env facts_list;
+    summaries = Effects.summaries table;
   }
 
 let analyze_tree ?cache_file ~root () =

@@ -1,11 +1,13 @@
-(** The AST analysis layer: semantic rules S1-S4 over compiler-libs
+(** The AST analysis layer: semantic rules S1-S8 over compiler-libs
     parse trees.
 
     Per-file {!Facts} extraction (cacheable by content fingerprint via
-    {!Cache}) feeds four cross-module checks: S1 effect containment
+    {!Cache}) feeds the cross-module checks: S1/S5 effect containment
     ({!Effects}), S2 seed-flow ({!Seedflow}), S3 order-sensitive float
-    accumulation over unordered [Hashtbl] iteration, and S4 dead [.mli]
-    exports.  Findings share the token layer's suppression comments:
+    accumulation over unordered [Hashtbl] iteration, S4 dead [.mli]
+    exports, and the S6/S7/S8 parallel-determinism rules ({!Purity}:
+    pool-task purity, no module-level mutable state in [lib/], declared
+    lock order).  Findings share the token layer's suppression comments:
     [(* lint: allow S1 *)] on (or above) the line, or
     [(* lint: allow-file S1 *)] anywhere in the file. *)
 
