@@ -37,51 +37,108 @@ let section title =
 
 let std = Format.std_formatter
 
-(* Wall-clock phase spans and progress lines.  The clock stays in bench/
-   (and tools/): lib/ is wall-clock-free by lint rule D1, so all timing
-   observability for experiments lives here.  Every completed phase is
-   also appended to [phase_log] for the machine-readable timing report
-   ([write_bench_json], --bench-json). *)
-let phase_log : (string * float) list ref = ref []
+(* The wall-clock profiler behind phase spans, the pool's task metrics
+   and the timing report.  The clock stays in bench/ (and tools/): lib/
+   is wall-clock-free by lint rule D1, so [Mppm_obs.Prof] takes the
+   clock as an argument and this harness injects [Unix.gettimeofday].
+   Profiling never changes results — everything the model computes stays
+   bit-for-bit deterministic (asserted elsewhere). *)
+module Prof = Mppm_obs.Prof
+module Obs_event = Mppm_obs.Event
+module Render = Mppm_obs.Render
+
+let prof = Prof.make ~clock:Unix.gettimeofday
 
 let phase name f =
   let t0 = Unix.gettimeofday () in
-  let result = f () in
-  let seconds = Unix.gettimeofday () -. t0 in
-  phase_log := (name, seconds) :: !phase_log;
-  Printf.printf "[%s: %.1fs]\n%!" name seconds;
+  let result = Prof.time prof name f in
+  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
   result
 
-(* The per-phase wall-time report: one JSON object per run, so CI can
-   archive BENCH_model.json and compare harness cost across commits.
-   Phase *timings* vary run to run; everything the model computes stays
-   bit-for-bit deterministic (asserted elsewhere), which is why the
-   timing report lives in a side file instead of the result stream. *)
+(* The current commit, for the bench report (timings are only comparable
+   when the reader knows what code produced them). *)
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic ->
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (match line with Some "" -> None | l -> l)
+      | _ | (exception _) -> None)
+
+(* The per-phase wall-time report (schema mppm-bench/2): one JSON object
+   per run, so CI can archive BENCH_model.json and tools/benchdiff.exe
+   can compare harness cost across commits. *)
 let write_bench_json ~path ~trace ~mixes ~seed ~jobs ~paper_scale ~only ~total =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"mppm-bench-timings/1\",\n";
-  Printf.bprintf b
-    "  \"params\": {\"trace\": %d, \"mixes\": %d, \"seed\": %d, \"jobs\": %d, \
-     \"paper\": %b, \"only\": [%s]},\n"
-    trace mixes seed jobs paper_scale
-    (String.concat ", " (List.map (fun s -> "\"" ^ s ^ "\"") only));
-  Buffer.add_string b "  \"phases\": [\n";
-  let phases = List.rev !phase_log in
-  let n = List.length phases in
-  List.iteri
-    (fun i (name, seconds) ->
-      Printf.bprintf b "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n" name
-        seconds
-        (if i = n - 1 then "" else ","))
-    phases;
-  Buffer.add_string b "  ],\n";
-  Printf.bprintf b "  \"total_seconds\": %.3f\n}\n" total;
+  let report =
+    Mppm_obs.Bench_report.of_prof ?git_rev:(git_rev ())
+      ~params:
+        Mppm_obs.Bench_report.
+          [
+            ("trace", Int trace);
+            ("mixes", Int mixes);
+            ("seed", Int seed);
+            ("jobs", Int jobs);
+            ("paper", Bool paper_scale);
+            ("only", Strings only);
+          ]
+      ~total prof
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents b));
+    (fun () -> output_string oc (Mppm_obs.Bench_report.to_json report));
   Printf.printf "phase timings written to %s\n%!" path
+
+(* --trace-phases: the run's wall-clock timeline as a Chrome trace_event
+   file — phase spans on the top lane, every pool task on the lane of
+   the worker domain that ran it (queue wait in args).  Complements the
+   virtual-cycle model trace (bin/mppm --trace): this one profiles the
+   harness, that one the model. *)
+let write_phase_trace ~path prof =
+  let spans = Prof.spans prof and tasks = Prof.tasks prof in
+  let t0 =
+    List.fold_left
+      (fun acc (s : Prof.span) -> Float.min acc s.Prof.sp_start)
+      (List.fold_left
+         (fun acc (tk : Prof.task) -> Float.min acc tk.Prof.tk_start)
+         infinity tasks)
+      spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let us x = (x -. t0) *. 1e6 in
+  let events =
+    List.map
+      (fun (s : Prof.span) ->
+        Obs_event.make ~name:s.Prof.sp_name ~time:(us s.Prof.sp_start)
+          ~dur:(s.Prof.sp_dur *. 1e6)
+          [ ("alloc_bytes", Obs_event.Float s.Prof.sp_alloc_bytes) ])
+      spans
+    @ List.map
+        (fun (tk : Prof.task) ->
+          Obs_event.make ~name:"pool.task" ~time:(us tk.Prof.tk_start)
+            ~dur:(tk.Prof.tk_dur *. 1e6)
+            [
+              ("domain", Obs_event.Int tk.Prof.tk_domain);
+              ("wait_us", Obs_event.Float (tk.Prof.tk_wait *. 1e6));
+            ])
+        tasks
+  in
+  let events =
+    List.sort
+      (fun a b -> Float.compare a.Obs_event.time b.Obs_event.time)
+      events
+  in
+  (* Lane 0 holds the phase spans; pool tasks go to worker lane + 1. *)
+  let lane ev =
+    match Obs_event.int_field ev "domain" with Some d -> d + 1 | None -> 0
+  in
+  let r = Render.chrome ~lane () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Render.to_string r events));
+  Printf.printf "phase trace written to %s\n%!" path
 
 (* A per-mix callback for Accuracy.evaluate: one carriage-return progress
    line with elapsed time and a linear ETA.  Pool workers complete tasks
@@ -727,7 +784,8 @@ let all_sections =
     "cophase"; "simpoint"; "micro";
   ]
 
-let run trace mixes seed cache_dir only paper_scale csv jobs bench_json =
+let run trace mixes seed cache_dir only paper_scale csv jobs bench_json
+    trace_phases =
   (match List.filter (fun s -> not (List.mem s all_sections)) only with
   | [] -> ()
   | unknown ->
@@ -740,7 +798,7 @@ let run trace mixes seed cache_dir only paper_scale csv jobs bench_json =
   let scale = Scale.of_trace trace in
   let ctx = Context.create ~seed ~cache_dir scale in
   let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
-  Pool.with_pool ~jobs @@ fun pool ->
+  Pool.with_pool ~jobs ~prof @@ fun pool ->
   let wants name = List.mem name only in
   let timed name f = phase ("section " ^ name) f in
   Format.fprintf std "MPPM benchmark harness: %a, seed %d@." Scale.pp scale
@@ -776,11 +834,16 @@ let run trace mixes seed cache_dir only paper_scale csv jobs bench_json =
   if wants "cophase" then timed "cophase" (fun () -> run_cophase ctx ~mixes);
   if wants "simpoint" then timed "simpoint" (fun () -> run_simpoint ctx ~mixes);
   if wants "micro" then timed "micro" (fun () -> run_micro ctx);
+  if Option.is_some (Prof.pool_stats prof) then
+    Format.printf "@.%a@." Prof.pp_pool prof;
   (match bench_json with
   | None -> ()
   | Some path ->
       write_bench_json ~path ~trace ~mixes ~seed ~jobs ~paper_scale ~only
         ~total:(Unix.gettimeofday () -. t_start));
+  (match trace_phases with
+  | None -> ()
+  | Some path -> write_phase_trace ~path prof);
   Printf.printf "\ndone.\n"
 
 open Cmdliner
@@ -846,6 +909,17 @@ let no_bench_json =
     value & flag
     & info [ "no-bench-json" ] ~doc:"Do not write the phase-timing JSON file.")
 
+let trace_phases =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-phases" ]
+        ~doc:
+          "Write the run's wall-clock timeline (phase spans + pool tasks \
+           on per-domain lanes) as a Chrome trace_event file to $(docv) \
+           (load in chrome://tracing or Perfetto)."
+        ~docv:"FILE")
+
 let cmd =
   let doc = "Regenerate the tables and figures of the MPPM paper." in
   Cmd.v
@@ -853,11 +927,12 @@ let cmd =
     Term.(
       const
         (fun trace mixes seed cache_dir only paper_scale csv jobs bench_json
-             no_bench_json ->
+             no_bench_json trace_phases ->
           run trace mixes seed cache_dir only paper_scale csv jobs
-            (if no_bench_json then None else bench_json))
+            (if no_bench_json then None else bench_json)
+            trace_phases)
       $ trace $ mixes $ seed $ cache_dir $ only $ paper_scale $ csv $ jobs
-      $ bench_json $ no_bench_json)
+      $ bench_json $ no_bench_json $ trace_phases)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd)

@@ -98,31 +98,26 @@ let jobs_term =
 module Obs_event = Mppm_obs.Event
 module Obs_sink = Mppm_obs.Sink
 module Obs_trace = Mppm_obs.Trace
+module Render = Mppm_obs.Render
 module Registry = Mppm_obs.Registry
 
 (* A sink that streams events to [path] as they are emitted.  JSONL is one
    event per line; Chrome trace JSON is one array usable directly in
-   chrome://tracing / Perfetto. *)
+   chrome://tracing / Perfetto.  The byte format (framing included) comes
+   from Mppm_obs.Render; this file only owns the channel. *)
 let file_sink path format =
   let oc = open_out path in
-  match format with
-  | `Jsonl ->
-      Obs_sink.make
-        ~close:(fun () -> close_out oc)
-        (fun ev ->
-          output_string oc (Obs_event.to_jsonl ev);
-          output_char oc '\n')
-  | `Chrome ->
-      output_string oc "[";
-      let first = ref true in
-      Obs_sink.make
-        ~close:(fun () ->
-          output_string oc "\n]\n";
-          close_out oc)
-        (fun ev ->
-          if !first then first := false else output_string oc ",";
-          output_string oc "\n";
-          output_string oc (Obs_event.to_chrome ev))
+  let r =
+    match format with
+    | `Jsonl -> Render.jsonl ()
+    | `Chrome -> Render.chrome ()
+  in
+  output_string oc (Render.header r);
+  Obs_sink.make
+    ~close:(fun () ->
+      output_string oc (Render.finish r);
+      close_out oc)
+    (fun ev -> output_string oc (Render.step r ev))
 
 let trace_term =
   let file =
@@ -528,27 +523,50 @@ let cache_cmd =
 let read_jsonl_events path =
   let ic = open_in path in
   let events = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then
-         match Obs_event.of_jsonl line with
-         | Ok ev -> events := ev :: !events
-         | Error msg ->
-             close_in ic;
-             failwith (Printf.sprintf "Mppm.trace_report: %s: %s" path msg)
-     done
-   with End_of_file -> close_in ic);
-  List.rev !events
+  let lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" then
+             match Obs_event.of_jsonl line with
+             | Ok ev -> events := ev :: !events
+             | Error msg ->
+                 let hint =
+                   if trimmed.[0] = '[' || trimmed.[0] = ']' then
+                     " (hint: this looks like a Chrome trace; trace-report \
+                      reads the JSONL format, i.e. --trace without \
+                      --trace-format chrome)"
+                   else ""
+                 in
+                 failwith
+                   (Printf.sprintf "Mppm.trace_report: %s:%d: %s%s" path
+                      !lineno msg hint)
+         done
+       with End_of_file -> ());
+      List.rev !events)
 
 let trace_report_cmd =
   let run path =
     let events = read_jsonl_events path in
+    if events = [] then
+      failwith
+        (Printf.sprintf
+           "Mppm.trace_report: %s holds no events (hint: record a trace \
+            with 'mppm compare ... --trace %s' first)"
+           path path);
     let named name = List.filter (fun ev -> ev.Obs_event.name = name) events in
     let quanta = named "model.quantum" in
     if quanta = [] then
       failwith
-        (Printf.sprintf "Mppm.trace_report: %s holds no model.quantum events"
+        (Printf.sprintf
+           "Mppm.trace_report: %s holds no model.quantum events (hint: the \
+            trace must come from 'mppm predict' or 'mppm compare' with \
+            --trace; trace-report cannot read bench --trace-phases files)"
            path);
     let programs =
       match named "model.start" with
@@ -645,11 +663,22 @@ let trace_report_cmd =
 
 let () =
   let doc = "The Multi-Program Performance Model (IISWC 2011) toolkit." in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "mppm" ~doc)
-          [
-            suite_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-            population_cmd; rank_cmd; categories_cmd; cache_cmd;
-            trace_record_cmd; trace_stats_cmd; trace_report_cmd;
-          ]))
+  (* ~catch:false so domain errors (Failure/Sys_error, e.g. a malformed
+     or missing trace file) print as one clean line on stderr with exit
+     code 2 instead of cmdliner's internal-error backtrace panel. *)
+  try
+    exit
+      (Cmd.eval ~catch:false
+         (Cmd.group (Cmd.info "mppm" ~doc)
+            [
+              suite_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
+              population_cmd; rank_cmd; categories_cmd; cache_cmd;
+              trace_record_cmd; trace_stats_cmd; trace_report_cmd;
+            ]))
+  with
+  | Failure msg ->
+      prerr_endline ("mppm: " ^ msg);
+      exit 2
+  | Sys_error msg ->
+      prerr_endline ("mppm: " ^ msg);
+      exit 2

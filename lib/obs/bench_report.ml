@@ -1,0 +1,629 @@
+(* The machine-readable bench report (BENCH_model.json) and the diff
+   engine behind tools/benchdiff.exe.  Everything here is pure — parsing,
+   rendering and comparison take strings/formatters and return data, so
+   file I/O stays in bench/ and tools/ (lint rules S1/O1) and the module
+   is unit-testable without touching the filesystem.
+
+   Rendering uses fixed decimal places everywhere, so render -> parse ->
+   render is a fixpoint (golden-tested) and reports diff cleanly. *)
+
+let schema_v2 = "mppm-bench/2"
+let schema_v1 = "mppm-bench-timings/1"
+
+type param =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+  | Strings of string list
+
+type phase = {
+  ph_name : string;
+  ph_seconds : float;
+  ph_alloc_bytes : float option;
+}
+
+type pool = {
+  pl_jobs : int;
+  pl_tasks : float;
+  pl_utilization : float;
+  pl_wait_p50 : float;
+  pl_wait_p99 : float;
+  pl_dur_p50 : float;
+  pl_dur_p90 : float;
+  pl_dur_p99 : float;
+}
+
+type t = {
+  r_git_rev : string option;
+  r_params : (string * param) list;
+  r_phases : phase list;
+  r_pool : pool option;
+  r_total_seconds : float;
+}
+
+let of_prof ?git_rev ?(params = []) ~total prof =
+  let phases =
+    List.map
+      (fun s ->
+        {
+          ph_name = s.Prof.ss_name;
+          ph_seconds = s.Prof.ss_total;
+          ph_alloc_bytes = Some s.Prof.ss_alloc_bytes;
+        })
+      (Prof.span_stats prof)
+  in
+  let pool =
+    Option.map
+      (fun (p : Prof.pool_stats) ->
+        {
+          pl_jobs = p.Prof.p_jobs;
+          pl_tasks = p.Prof.p_tasks;
+          pl_utilization = p.Prof.p_utilization;
+          pl_wait_p50 = p.Prof.p_wait_p50;
+          pl_wait_p99 = p.Prof.p_wait_p99;
+          pl_dur_p50 = p.Prof.p_dur_p50;
+          pl_dur_p90 = p.Prof.p_dur_p90;
+          pl_dur_p99 = p.Prof.p_dur_p99;
+        })
+      (Prof.pool_stats prof)
+  in
+  {
+    r_git_rev = git_rev;
+    r_params = params;
+    r_phases = phases;
+    r_pool = pool;
+    r_total_seconds = total;
+  }
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Fixed-decimal float rendering keeps render -> parse -> render a
+   fixpoint; %.17g round-trip floats would too, but diff noisily. *)
+let sec x = Printf.sprintf "%.3f" x
+let frac x = Printf.sprintf "%.4f" x
+let whole x = Printf.sprintf "%.0f" x
+
+let param_to_json = function
+  | Int i -> string_of_int i
+  | Float x -> frac x
+  | Bool b -> if b then "true" else "false"
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+  | Strings ss ->
+      Printf.sprintf "[%s]"
+        (String.concat ", "
+           (List.map (fun s -> Printf.sprintf "\"%s\"" (escape s)) ss))
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"%s\",\n" schema_v2;
+  (match t.r_git_rev with
+  | Some rev -> Printf.bprintf b "  \"git_rev\": \"%s\",\n" (escape rev)
+  | None -> Buffer.add_string b "  \"git_rev\": null,\n");
+  Printf.bprintf b "  \"params\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\": %s" (escape k) (param_to_json v))
+          t.r_params));
+  Buffer.add_string b "  \"phases\": [\n";
+  let n = List.length t.r_phases in
+  List.iteri
+    (fun i p ->
+      let alloc =
+        match p.ph_alloc_bytes with
+        | Some a -> Printf.sprintf ", \"alloc_bytes\": %s" (whole a)
+        | None -> ""
+      in
+      Printf.bprintf b "    {\"name\": \"%s\", \"seconds\": %s%s}%s\n"
+        (escape p.ph_name) (sec p.ph_seconds) alloc
+        (if i = n - 1 then "" else ","))
+    t.r_phases;
+  Buffer.add_string b "  ],\n";
+  (match t.r_pool with
+  | None -> Buffer.add_string b "  \"pool\": null,\n"
+  | Some p ->
+      Printf.bprintf b
+        "  \"pool\": {\"jobs\": %d, \"tasks\": %s, \"utilization\": %s, \
+         \"wait_p50\": %s, \"wait_p99\": %s, \"dur_p50\": %s, \"dur_p90\": \
+         %s, \"dur_p99\": %s},\n"
+        p.pl_jobs (whole p.pl_tasks) (frac p.pl_utilization)
+        (frac p.pl_wait_p50) (frac p.pl_wait_p99) (frac p.pl_dur_p50)
+        (frac p.pl_dur_p90) (frac p.pl_dur_p99));
+  Printf.bprintf b "  \"total_seconds\": %s\n}\n" (sec t.r_total_seconds);
+  Buffer.contents b
+
+(* ---- JSON parsing ------------------------------------------------------ *)
+
+(* Event.of_jsonl only parses the flat-object subset its own writer emits;
+   bench reports nest objects and arrays, so they get a small but complete
+   JSON reader of their own.  Total: malformed input yields [Error]. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Bad (Printf.sprintf "expected %c, got %c" ch x))
+  | None -> raise (Bad (Printf.sprintf "expected %c, got end of input" ch))
+
+let parse_str c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then raise (Bad "bad \\u escape");
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> raise (Bad "bad \\u escape")
+            in
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else raise (Bad "unsupported \\u escape");
+            go ()
+        | Some ch -> advance c; Buffer.add_char buf ch; go ()
+        | None -> raise (Bad "unterminated escape"))
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_num c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with Some ch when is_num_char ch -> advance c; go () | _ -> ()
+  in
+  go ();
+  if c.pos = start then raise (Bad "expected a number");
+  let text = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some x -> J_num x
+  | None -> raise (Bad "malformed number")
+
+let parse_word c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else raise (Bad (Printf.sprintf "expected %s" word))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> J_str (parse_str c)
+  | Some 't' -> parse_word c "true" (J_bool true)
+  | Some 'f' -> parse_word c "false" (J_bool false)
+  | Some 'n' -> parse_word c "null" J_null
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        J_arr []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; items (v :: acc)
+          | Some ']' -> advance c; J_arr (List.rev (v :: acc))
+          | _ -> raise (Bad "expected , or ] in array")
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        J_obj []
+      end
+      else
+        let rec members acc =
+          skip_ws c;
+          let key = parse_str c in
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; members ((key, v) :: acc)
+          | Some '}' -> advance c; J_obj (List.rev ((key, v) :: acc))
+          | _ -> raise (Bad "expected , or } in object")
+        in
+        members []
+  | Some _ -> parse_num c
+  | None -> raise (Bad "expected a value")
+
+let parse_json s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length c.src then raise (Bad "trailing input");
+  v
+
+(* ---- mapping json -> t ------------------------------------------------- *)
+
+let find members key = List.assoc_opt key members
+
+let need members key =
+  match find members key with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing key %S" key))
+
+let as_num = function
+  | J_num x -> x
+  | _ -> raise (Bad "expected a number")
+
+let as_str = function
+  | J_str s -> s
+  | _ -> raise (Bad "expected a string")
+
+let as_obj = function
+  | J_obj members -> members
+  | _ -> raise (Bad "expected an object")
+
+let param_of_json = function
+  | J_num x ->
+      if Float.is_integer x && Float.abs x < 1e15 then Int (int_of_float x)
+      else Float x
+  | J_bool b -> Bool b
+  | J_str s -> String s
+  | J_arr vs -> Strings (List.map as_str vs)
+  | J_null | J_obj _ -> raise (Bad "unsupported param value")
+
+let phase_of_json v =
+  let m = as_obj v in
+  {
+    ph_name = as_str (need m "name");
+    ph_seconds = as_num (need m "seconds");
+    ph_alloc_bytes = Option.map as_num (find m "alloc_bytes");
+  }
+
+let pool_of_json v =
+  let m = as_obj v in
+  {
+    pl_jobs = int_of_float (as_num (need m "jobs"));
+    pl_tasks = as_num (need m "tasks");
+    pl_utilization = as_num (need m "utilization");
+    pl_wait_p50 = as_num (need m "wait_p50");
+    pl_wait_p99 = as_num (need m "wait_p99");
+    pl_dur_p50 = as_num (need m "dur_p50");
+    pl_dur_p90 = as_num (need m "dur_p90");
+    pl_dur_p99 = as_num (need m "dur_p99");
+  }
+
+let of_json_exn s =
+  let m = as_obj (parse_json s) in
+  let schema = as_str (need m "schema") in
+  if schema <> schema_v2 && schema <> schema_v1 then
+    raise
+      (Bad
+         (Printf.sprintf "unsupported schema %S (expected %S or %S)" schema
+            schema_v2 schema_v1));
+  let phases =
+    match need m "phases" with
+    | J_arr vs -> List.map phase_of_json vs
+    | _ -> raise (Bad "phases must be an array")
+  in
+  let params =
+    match find m "params" with
+    | Some (J_obj members) ->
+        List.map (fun (k, v) -> (k, param_of_json v)) members
+    | Some _ -> raise (Bad "params must be an object")
+    | None -> []
+  in
+  let git_rev =
+    match find m "git_rev" with
+    | Some (J_str s) -> Some s
+    | Some J_null | None -> None
+    | Some _ -> raise (Bad "git_rev must be a string or null")
+  in
+  let pool =
+    match find m "pool" with
+    | Some (J_obj _ as v) -> Some (pool_of_json v)
+    | Some J_null | None -> None
+    | Some _ -> raise (Bad "pool must be an object or null")
+  in
+  {
+    r_git_rev = git_rev;
+    r_params = params;
+    r_phases = phases;
+    r_pool = pool;
+    r_total_seconds = as_num (need m "total_seconds");
+  }
+
+let of_json s =
+  match of_json_exn s with
+  | t -> Ok t
+  | exception Bad msg -> Error ("Bench_report: " ^ msg)
+
+(* ---- diffing ----------------------------------------------------------- *)
+
+type delta = {
+  dl_name : string;
+  dl_base : float option;
+  dl_cur : float option;
+  dl_ratio : float option;
+  dl_regression : bool;
+}
+
+type diff = {
+  df_threshold : float;
+  df_min_seconds : float;
+  df_base_rev : string option;
+  df_cur_rev : string option;
+  df_deltas : delta list;
+  df_total_base : float;
+  df_total_cur : float;
+  df_total_ratio : float option;
+  df_geomean_ratio : float option;
+  df_regressions : string list;
+  df_missing : string list;
+  df_added : string list;
+}
+
+let ratio_of ~base ~cur =
+  if base > 0.0 then Some (Float.max 1e-9 cur /. base) else None
+
+let diff ?(threshold = 0.10) ?(min_seconds = 0.05) ~baseline ~current () =
+  if not (Float.is_finite threshold && threshold >= 0.0) then
+    invalid_arg "Bench_report.diff: threshold must be finite and >= 0";
+  let base_phases = baseline.r_phases and cur_phases = current.r_phases in
+  let cur_by_name name =
+    List.find_opt (fun p -> p.ph_name = name) cur_phases
+  in
+  let base_by_name name =
+    List.find_opt (fun p -> p.ph_name = name) base_phases
+  in
+  (* Baseline order first, then current-only phases in current order. *)
+  let names =
+    List.map (fun p -> p.ph_name) base_phases
+    @ List.filter_map
+        (fun p ->
+          if base_by_name p.ph_name = None then Some p.ph_name else None)
+        cur_phases
+  in
+  let deltas =
+    List.map
+      (fun name ->
+        let base = Option.map (fun p -> p.ph_seconds) (base_by_name name) in
+        let cur = Option.map (fun p -> p.ph_seconds) (cur_by_name name) in
+        let ratio =
+          match (base, cur) with
+          | Some b, Some c -> ratio_of ~base:b ~cur:c
+          | _ -> None
+        in
+        let big =
+          match (base, cur) with
+          | Some b, Some c -> Float.max b c >= min_seconds
+          | _ -> false
+        in
+        let regression =
+          big
+          && match ratio with Some r -> r > 1.0 +. threshold | None -> false
+        in
+        {
+          dl_name = name;
+          dl_base = base;
+          dl_cur = cur;
+          dl_ratio = ratio;
+          dl_regression = regression;
+        })
+      names
+  in
+  let compared =
+    List.filter_map
+      (fun d ->
+        match (d.dl_base, d.dl_cur, d.dl_ratio) with
+        | Some b, Some c, Some r when Float.max b c >= min_seconds ->
+            Some r
+        | _ -> None)
+      deltas
+  in
+  let geomean =
+    match compared with
+    | [] -> None
+    | rs ->
+        let sum = List.fold_left (fun acc r -> acc +. Float.log r) 0.0 rs in
+        Some (Float.exp (sum /. float_of_int (List.length rs)))
+  in
+  {
+    df_threshold = threshold;
+    df_min_seconds = min_seconds;
+    df_base_rev = baseline.r_git_rev;
+    df_cur_rev = current.r_git_rev;
+    df_deltas = deltas;
+    df_total_base = baseline.r_total_seconds;
+    df_total_cur = current.r_total_seconds;
+    df_total_ratio =
+      ratio_of ~base:baseline.r_total_seconds ~cur:current.r_total_seconds;
+    df_geomean_ratio = geomean;
+    df_regressions =
+      List.filter_map
+        (fun d -> if d.dl_regression then Some d.dl_name else None)
+        deltas;
+    df_missing =
+      List.filter_map
+        (fun d -> if d.dl_cur = None then Some d.dl_name else None)
+        deltas;
+    df_added =
+      List.filter_map
+        (fun d -> if d.dl_base = None then Some d.dl_name else None)
+        deltas;
+  }
+
+let has_regression d = d.df_regressions <> []
+
+(* ---- diff rendering ---------------------------------------------------- *)
+
+let opt_sec = function Some x -> Printf.sprintf "%8.3fs" x | None -> "       -"
+let opt_ratio = function Some r -> Printf.sprintf "%6.2fx" r | None -> "     -"
+
+let rev_tag = function Some rev -> " (rev " ^ rev ^ ")" | None -> ""
+
+let pp_text ppf d =
+  Format.fprintf ppf "@[<v>benchdiff: baseline%s vs current%s@,"
+    (rev_tag d.df_base_rev) (rev_tag d.df_cur_rev);
+  Format.fprintf ppf "%-32s %9s %9s %7s@," "phase" "base" "current" "ratio";
+  List.iter
+    (fun dl ->
+      Format.fprintf ppf "%-32s %s %s %s%s@," dl.dl_name (opt_sec dl.dl_base)
+        (opt_sec dl.dl_cur)
+        (opt_ratio dl.dl_ratio)
+        (if dl.dl_regression then "  REGRESSION" else ""))
+    d.df_deltas;
+  Format.fprintf ppf "%-32s %s %s %s@," "total"
+    (opt_sec (Some d.df_total_base))
+    (opt_sec (Some d.df_total_cur))
+    (opt_ratio d.df_total_ratio);
+  (match d.df_geomean_ratio with
+  | Some g ->
+      Format.fprintf ppf "geomean ratio %.3fx (speedup %.3fx) over phases >= %.2fs@,"
+        g (1.0 /. g) d.df_min_seconds
+  | None -> Format.fprintf ppf "geomean ratio: no comparable phases@,");
+  (match d.df_regressions with
+  | [] ->
+      Format.fprintf ppf "regressions (> +%.0f%%): none@]"
+        (100.0 *. d.df_threshold)
+  | rs ->
+      Format.fprintf ppf "regressions (> +%.0f%%): %s@]"
+        (100.0 *. d.df_threshold)
+        (String.concat ", " rs))
+
+let pp_markdown ppf d =
+  Format.fprintf ppf "@[<v>### benchdiff: baseline%s vs current%s@,@,"
+    (rev_tag d.df_base_rev) (rev_tag d.df_cur_rev);
+  Format.fprintf ppf "| phase | base | current | ratio |@,|---|---|---|---|@,";
+  let cell_sec = function
+    | Some x -> Printf.sprintf "%.3fs" x
+    | None -> "-"
+  in
+  let cell_ratio dl =
+    match dl.dl_ratio with
+    | Some r ->
+        Printf.sprintf "%.2fx%s" r
+          (if dl.dl_regression then " **REGRESSION**" else "")
+    | None -> "-"
+  in
+  List.iter
+    (fun dl ->
+      Format.fprintf ppf "| %s | %s | %s | %s |@," dl.dl_name
+        (cell_sec dl.dl_base) (cell_sec dl.dl_cur) (cell_ratio dl))
+    d.df_deltas;
+  Format.fprintf ppf "| **total** | %.3fs | %.3fs | %s |@,@," d.df_total_base
+    d.df_total_cur
+    (match d.df_total_ratio with
+    | Some r -> Printf.sprintf "%.2fx" r
+    | None -> "-");
+  (match d.df_geomean_ratio with
+  | Some g -> Format.fprintf ppf "geomean ratio **%.3fx**" g
+  | None -> Format.fprintf ppf "geomean ratio: no comparable phases");
+  match d.df_regressions with
+  | [] ->
+      Format.fprintf ppf "; regressions (> +%.0f%%): none@]"
+        (100.0 *. d.df_threshold)
+  | rs ->
+      Format.fprintf ppf "; regressions (> +%.0f%%): **%s**@]"
+        (100.0 *. d.df_threshold)
+        (String.concat ", " rs)
+
+let opt_num_json f = function Some x -> f x | None -> "null"
+
+let diff_to_json d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"mppm-benchdiff/1\",\n";
+  Printf.bprintf b "  \"threshold\": %s,\n" (frac d.df_threshold);
+  Printf.bprintf b "  \"min_seconds\": %s,\n" (frac d.df_min_seconds);
+  Printf.bprintf b "  \"geomean_ratio\": %s,\n"
+    (opt_num_json frac d.df_geomean_ratio);
+  Printf.bprintf b
+    "  \"total\": {\"base\": %s, \"current\": %s, \"ratio\": %s},\n"
+    (sec d.df_total_base) (sec d.df_total_cur)
+    (opt_num_json frac d.df_total_ratio);
+  Buffer.add_string b "  \"phases\": [\n";
+  let n = List.length d.df_deltas in
+  List.iteri
+    (fun i dl ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"base\": %s, \"current\": %s, \"ratio\": \
+         %s, \"regression\": %b}%s\n"
+        (escape dl.dl_name)
+        (opt_num_json sec dl.dl_base)
+        (opt_num_json sec dl.dl_cur)
+        (opt_num_json frac dl.dl_ratio)
+        dl.dl_regression
+        (if i = n - 1 then "" else ","))
+    d.df_deltas;
+  Buffer.add_string b "  ],\n";
+  let str_list ss =
+    String.concat ", "
+      (List.map (fun s -> Printf.sprintf "\"%s\"" (escape s)) ss)
+  in
+  Printf.bprintf b "  \"regressions\": [%s],\n" (str_list d.df_regressions);
+  Printf.bprintf b "  \"missing\": [%s],\n" (str_list d.df_missing);
+  Printf.bprintf b "  \"added\": [%s]\n}\n" (str_list d.df_added);
+  Buffer.contents b

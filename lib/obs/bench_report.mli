@@ -1,0 +1,124 @@
+(* lint: allow-file S4 report fields are obs API surface; bench/tools consume a task-dependent subset *)
+(** The machine-readable bench report ([BENCH_model.json]) and the diff
+    engine behind [tools/benchdiff.exe].
+
+    Pure by construction: parsing, rendering and comparison work on
+    strings and formatters — file I/O stays in [bench/] and [tools/]
+    (lint rules S1/O1).  {!to_json} uses fixed decimal places so
+    render [->] parse [->] render is a fixpoint and reports diff
+    cleanly; the key set and schema tag are pinned by a golden test. *)
+
+val schema_v2 : string
+(** The schema tag written by {!to_json}: ["mppm-bench/2"]. *)
+
+val schema_v1 : string
+(** The legacy schema tag still accepted by {!of_json}:
+    ["mppm-bench-timings/1"] (no allocation, pool or git fields). *)
+
+(** One run parameter, as recorded under the ["params"] key. *)
+type param =
+  | Int of int  (** e.g. [trace], [mixes], [seed], [jobs] *)
+  | Float of float  (** non-integral numeric parameter *)
+  | Bool of bool  (** e.g. [paper] *)
+  | String of string  (** free-form parameter *)
+  | Strings of string list  (** e.g. the [only] section list *)
+
+(** One harness phase: wall time plus the orchestrating domain's
+    allocation. *)
+type phase = {
+  ph_name : string;  (** phase label, e.g. ["section fig4+fig5"] *)
+  ph_seconds : float;  (** summed wall time of the phase's spans *)
+  ph_alloc_bytes : float option;
+      (** [Gc.allocated_bytes] delta on the orchestrating domain; [None]
+          in legacy v1 reports *)
+}
+
+(** Pool utilization summary, from {!Prof.pool_stats}. *)
+type pool = {
+  pl_jobs : int;  (** pool size *)
+  pl_tasks : float;  (** tasks executed *)
+  pl_utilization : float;  (** busy / (elapsed x jobs) *)
+  pl_wait_p50 : float;  (** median queue wait, seconds *)
+  pl_wait_p99 : float;  (** 99th-percentile queue wait *)
+  pl_dur_p50 : float;  (** median task duration *)
+  pl_dur_p90 : float;  (** 90th-percentile task duration *)
+  pl_dur_p99 : float;  (** 99th-percentile task duration *)
+}
+
+(** A complete bench report. *)
+type t = {
+  r_git_rev : string option;  (** source revision, when known *)
+  r_params : (string * param) list;  (** run parameters, in emission order *)
+  r_phases : phase list;  (** per-phase costs, in emission order *)
+  r_pool : pool option;  (** pool utilization; [None] when no pool ran *)
+  r_total_seconds : float;  (** whole-run wall time *)
+}
+
+val of_prof :
+  ?git_rev:string ->
+  ?params:(string * param) list ->
+  total:float ->
+  Prof.t ->
+  t
+(** Build a report from a profiler: {!Prof.span_stats} become the phases
+    (sorted by name) and {!Prof.pool_stats} the pool summary. *)
+
+val to_json : t -> string
+(** Render as the [mppm-bench/2] JSON document, trailing newline
+    included.  Deterministic for a fixed report. *)
+
+val of_json : string -> (t, string) result
+(** Parse a v1 or v2 report.  Total — malformed input, an unsupported
+    schema or missing keys yield [Error] with a diagnostic. *)
+
+(** One phase compared across two reports. *)
+type delta = {
+  dl_name : string;  (** phase label *)
+  dl_base : float option;  (** baseline seconds; [None] = phase added *)
+  dl_cur : float option;  (** current seconds; [None] = phase missing *)
+  dl_ratio : float option;
+      (** current/baseline when both present and baseline > 0 *)
+  dl_regression : bool;
+      (** ratio above threshold on a phase big enough to matter *)
+}
+
+(** The result of comparing two reports. *)
+type diff = {
+  df_threshold : float;  (** regression threshold (0.10 = +10%) *)
+  df_min_seconds : float;  (** phases below this are never regressions *)
+  df_base_rev : string option;  (** baseline revision *)
+  df_cur_rev : string option;  (** current revision *)
+  df_deltas : delta list;
+      (** union of phases: baseline order, then added ones *)
+  df_total_base : float;  (** baseline total seconds *)
+  df_total_cur : float;  (** current total seconds *)
+  df_total_ratio : float option;  (** current/baseline total *)
+  df_geomean_ratio : float option;
+      (** geometric mean of per-phase ratios over comparable phases;
+          values < 1 are speedups *)
+  df_regressions : string list;  (** phases flagged as regressions *)
+  df_missing : string list;  (** baseline phases absent from current *)
+  df_added : string list;  (** current phases absent from baseline *)
+}
+
+val diff :
+  ?threshold:float -> ?min_seconds:float -> baseline:t -> current:t -> unit ->
+  diff
+(** [diff ~baseline ~current ()] compares per-phase wall times.  A phase
+    regresses when both sides exist, [max base cur >= min_seconds]
+    (default 0.05s — timing noise on tiny phases never fails a build)
+    and [cur/base > 1 + threshold] (default [0.10]).  Raises
+    [Invalid_argument] on a negative or non-finite threshold. *)
+
+val has_regression : diff -> bool
+(** Whether any phase regressed — the CLI's exit-code predicate. *)
+
+val pp_text : Format.formatter -> diff -> unit
+(** Fixed-width table rendering for terminals. *)
+
+val pp_markdown : Format.formatter -> diff -> unit
+(** GitHub-flavoured markdown table (CI job summaries). *)
+
+val diff_to_json : diff -> string
+(** The diff as a [mppm-benchdiff/1] JSON document, for machine
+    consumers. *)

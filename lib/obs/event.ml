@@ -83,9 +83,10 @@ let to_jsonl t =
 
 (* Chrome trace_event object: a complete ("X") event when the event has a
    duration, an instant ("i") event otherwise.  Virtual time (cycles) maps
-   onto the ts/dur microsecond fields; all events share pid 0 / tid 0 so a
-   run renders as one timeline row per event name. *)
-let to_chrome t =
+   onto the ts/dur microsecond fields; by default all events share pid 0 /
+   tid 0 so a run renders as one timeline row per event name.  Callers can
+   route events onto separate rows via ~tid (per-domain pool lanes). *)
+let to_chrome ?(pid = 0) ?(tid = 0) t =
   let args =
     String.concat ","
       (List.map
@@ -96,12 +97,12 @@ let to_chrome t =
   match t.dur with
   | Some d ->
       Printf.sprintf
-        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":0,\"args\":{%s}}"
-        (escape_string t.name) (float_str t.time) (float_str d) args
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{%s}}"
+        (escape_string t.name) (float_str t.time) (float_str d) pid tid args
   | None ->
       Printf.sprintf
-        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"g\",\"pid\":0,\"tid\":0,\"args\":{%s}}"
-        (escape_string t.name) (float_str t.time) args
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"g\",\"pid\":%d,\"tid\":%d,\"args\":{%s}}"
+        (escape_string t.name) (float_str t.time) pid tid args
 
 (* ---- JSONL parsing ---------------------------------------------------- *)
 

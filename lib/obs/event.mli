@@ -41,10 +41,13 @@ val of_jsonl : string -> (t, string) result
 (** Parse one {!to_jsonl} line back.  Total — malformed input yields
     [Error] with a diagnostic, never an exception. *)
 
-val to_chrome : t -> string
+val to_chrome : ?pid:int -> ?tid:int -> t -> string
 (** The event as a Chrome [trace_event] JSON object ("X" complete event
     when [dur] is present, "i" instant otherwise; fields become [args]).
-    Callers wrap the objects in a JSON array to form a loadable trace. *)
+    [pid]/[tid] pick the process/thread timeline rows (both default 0;
+    the bench phase trace routes pool tasks onto per-domain [tid] lanes).
+    Callers wrap the objects in a JSON array to form a loadable trace —
+    see {!Render.chrome}. *)
 
 val float_field : t -> string -> float option
 (** Numeric field as a float ([Int] coerces); [None] when absent or not a

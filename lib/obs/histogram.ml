@@ -78,6 +78,34 @@ let merge a b =
   t.hi <- Float.max a.hi b.hi;
   t
 
+let quantile t p =
+  if not (Float.is_finite p && p >= 0.0 && p <= 1.0) then
+    invalid_arg "Histogram.quantile: p must lie in [0, 1]";
+  if t.total <= 0.0 then 0.0
+  else begin
+    (* Linear interpolation inside the bucket holding rank [p * total].
+       The open end buckets borrow the observed extremes as edges, and
+       the result is clamped to [lo, hi], so quantile 0 = min and
+       quantile 1 = max.  Every input (counts, total, lo, hi) is
+       invariant under merge order, hence so is the estimate. *)
+    let clamp x = Float.min t.hi (Float.max t.lo x) in
+    let rank = p *. t.total in
+    let n = Array.length t.bounds in
+    let rec go i cum =
+      if i > n then t.hi
+      else
+        let c = t.counts.(i) in
+        if c > 0.0 && cum +. c >= rank then begin
+          let lo_edge = if i = 0 then t.lo else t.bounds.(i - 1) in
+          let hi_edge = if i = n then t.hi else t.bounds.(i) in
+          let frac = Float.max 0.0 (Float.min 1.0 ((rank -. cum) /. c)) in
+          clamp (lo_edge +. (frac *. (hi_edge -. lo_edge)))
+        end
+        else go (i + 1) (cum +. c)
+    in
+    go 0 0.0
+  end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   let n = Array.length t.bounds in

@@ -41,6 +41,16 @@ val max_value : t -> float option
 val bucket_counts : t -> float array
 (** Per-bucket sample counts, length [Array.length (bounds t) + 1]. *)
 
+val quantile : t -> float -> float
+(** [quantile t p] estimates the [p]-quantile (e.g. 0.5/0.9/0.99 for
+    p50/p90/p99) from the bucketed counts: the bucket holding rank
+    [p * count] is located and the value interpolated linearly inside it,
+    with the open end buckets bounded by the observed min/max, so
+    [quantile t 0.0 = min] and [quantile t 1.0 = max].  The estimate is
+    monotone in [p] and invariant under merge order (qcheck-tested).
+    Returns 0 on an empty histogram; raises [Invalid_argument] when [p]
+    lies outside [0, 1]. *)
+
 val merge : t -> t -> t
 (** Bucket-wise sum of two histograms with identical bounds; raises
     [Invalid_argument] on a bounds mismatch.  Inputs are not mutated. *)

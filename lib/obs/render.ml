@@ -1,0 +1,36 @@
+(* Pure incremental renderers for event streams.  File I/O stays in
+   bin/ and bench/ (lint rules S1/O1): a renderer only turns events into
+   the exact bytes a writer should append, including the stream framing
+   (the Chrome trace_event array brackets and separators). *)
+
+type t = {
+  r_header : string;
+  r_step : Event.t -> string;
+  r_finish : string;
+}
+
+let jsonl () =
+  { r_header = ""; r_step = (fun ev -> Event.to_jsonl ev ^ "\n"); r_finish = "" }
+
+let chrome ?(lane = fun _ -> 0) () =
+  let first = ref true in
+  {
+    r_header = "[";
+    r_step =
+      (fun ev ->
+        let sep = if !first then "\n" else ",\n" in
+        first := false;
+        sep ^ Event.to_chrome ~tid:(lane ev) ev);
+    r_finish = "\n]\n";
+  }
+
+let header t = t.r_header
+let step t ev = t.r_step ev
+let finish t = t.r_finish
+
+let to_string t events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf t.r_header;
+  List.iter (fun ev -> Buffer.add_string buf (t.r_step ev)) events;
+  Buffer.add_string buf t.r_finish;
+  Buffer.contents buf

@@ -15,17 +15,20 @@
    themselves run unlocked. *)
 
 module Registry = Mppm_obs.Registry
+module Prof = Mppm_obs.Prof
 
 type batch = {
   b_total : int;
   b_chunk : int;
-  mutable b_run : int -> unit;
+  mutable b_run : int -> int -> unit;  (* worker index, task index *)
   mutable b_next : int;  (* next unclaimed task index *)
   mutable b_completed : int;
+  mutable b_submitted : float;  (* profiler clock at submission, else 0 *)
 }
 
 type t = {
   n_jobs : int;
+  prof : Prof.t;  (* task metrics sink; Prof.null when not profiling *)
   mutex : Mutex.t;
   work : Condition.t;  (* a batch was submitted, or shutdown *)
   finished : Condition.t;  (* the current batch completed *)
@@ -46,7 +49,7 @@ let claim_chunk b =
     Some (lo, hi)
   end
 
-let worker t =
+let worker t idx =
   let rec loop () =
     Mutex.lock t.mutex;
     let rec await () =
@@ -69,18 +72,19 @@ let worker t =
     | None -> ()
     | Some (b, (lo, hi)) ->
         for i = lo to hi - 1 do
-          b.b_run i
+          b.b_run idx i
         done;
         loop ()
   in
   loop ()
 
-let create ?jobs () =
+let create ?jobs ?(prof = Prof.null) () =
   let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
   if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
       n_jobs;
+      prof;
       mutex = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -89,7 +93,9 @@ let create ?jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  Prof.note_jobs prof n_jobs;
+  t.workers <-
+    List.init (n_jobs - 1) (fun i -> Domain.spawn (fun () -> worker t i));
   t
 
 let jobs t = t.n_jobs
@@ -103,8 +109,8 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join workers
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?prof f =
+  let t = create ?jobs ?prof () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let map ?on_done ?(chunk = 1) t f xs =
@@ -121,13 +127,22 @@ let map ?on_done ?(chunk = 1) t f xs =
       | Some (j, _) when j <= i -> ()
       | _ -> error := Some (i, e)
     in
+    let clk = Prof.clock t.prof in
     let b =
-      { b_total = total; b_chunk = chunk; b_run = ignore; b_next = 0;
-        b_completed = 0 }
+      { b_total = total; b_chunk = chunk; b_run = (fun _ _ -> ());
+        b_next = 0; b_completed = 0; b_submitted = 0.0 }
     in
-    let run i =
-      let r = try Ok (f xs.(i)) with e -> Error e in
+    (* Completion bookkeeping, under [t.mutex].  Task metrics are recorded
+       first, under the same lock, so the profiler needs no lock of its
+       own and profiling changes nothing observable (timing is a side
+       channel; results stay positional). *)
+    let complete timing i r =
       Mutex.lock t.mutex;
+      (match timing with
+      | Some (domain, t_start, t_end) ->
+          Prof.task t.prof ~domain ~start:t_start
+            ~wait:(t_start -. b.b_submitted) ~dur:(t_end -. t_start)
+      | None -> ());
       (match r with
       | Ok v -> results.(i) <- Some v
       | Error e -> record_error i e);
@@ -141,7 +156,19 @@ let map ?on_done ?(chunk = 1) t f xs =
       end;
       Mutex.unlock t.mutex
     in
+    let run domain i =
+      match clk with
+      | None ->
+          let r = try Ok (f xs.(i)) with e -> Error e in
+          complete None i r
+      | Some now ->
+          let t_start = now () in
+          let r = try Ok (f xs.(i)) with e -> Error e in
+          let t_end = now () in
+          complete (Some (domain, t_start, t_end)) i r
+    in
     b.b_run <- run;
+    (match clk with Some now -> b.b_submitted <- now () | None -> ());
     Mutex.lock t.mutex;
     if t.stopped then begin
       Mutex.unlock t.mutex;
@@ -161,8 +188,9 @@ let map ?on_done ?(chunk = 1) t f xs =
     let hwm = Registry.get "pool.queue_depth_hwm" in
     if float_of_int total > hwm then
       Registry.add "pool.queue_depth_hwm" (float_of_int total -. hwm);
-    (* The submitter is worker number [n_jobs]: it drains chunks like the
-       spawned domains, then waits for stragglers. *)
+    (* The submitter is the last worker index [n_jobs - 1]: it drains
+       chunks like the spawned domains, then waits for stragglers. *)
+    let submitter = t.n_jobs - 1 in
     let rec help () =
       Mutex.lock t.mutex;
       let claimed =
@@ -174,7 +202,7 @@ let map ?on_done ?(chunk = 1) t f xs =
       | Some (lo, hi) ->
           Mutex.unlock t.mutex;
           for i = lo to hi - 1 do
-            run i
+            run submitter i
           done;
           help ()
       | None ->

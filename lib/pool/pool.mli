@@ -11,8 +11,13 @@
     Deterministic usage counters are published through
     {!Mppm_obs.Registry} under ["pool.*"]: [pool.batches], [pool.tasks]
     and [pool.queue_depth_hwm] (the largest batch submitted).  Counts
-    only — wall-clock timing stays in bench/ and tools/ per lint rule
-    D1/O1.
+    only — the pool never reads wall-clock itself (lint rule D1/O1).
+    Timing observability is opt-in: pass a live {!Mppm_obs.Prof.t}
+    (whose clock bench/ and tools/ inject) to {!create}/{!with_pool}
+    and the pool records per-task duration, queue wait and the worker
+    index that ran each task, serialized under its own mutex.
+    Profiling never changes results — profiled runs stay bit-for-bit
+    identical (tested).
 
     A pool is not reentrant: tasks must not call {!map} on the pool that
     is running them, and only one {!map} may be in flight per pool. *)
@@ -24,20 +29,23 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1: the job count
     {!create} and {!with_pool} use when none is given. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?prof:Mppm_obs.Prof.t -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitter is
     the remaining worker, so [jobs = 1] spawns nothing and {!map} runs
     tasks in the calling domain, in index order).  [jobs] defaults to
-    {!default_jobs}; values below 1 are rejected.  Call {!shutdown} when
-    done, or use {!with_pool}. *)
+    {!default_jobs}; values below 1 are rejected.  [prof] (default
+    {!Mppm_obs.Prof.null}) receives per-task timing: worker indices
+    [0 .. jobs - 2] are the spawned domains and [jobs - 1] the
+    submitter.  Call {!shutdown} when done, or use {!with_pool}. *)
 
 val shutdown : t -> unit
 (** Signals the workers to exit and joins them.  Idempotent.  Any later
     {!map} on the pool is rejected. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?prof:Mppm_obs.Prof.t -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
-    afterwards, whether [f] returns or raises. *)
+    afterwards, whether [f] returns or raises.  [prof] is forwarded to
+    {!create}. *)
 
 val jobs : t -> int
 (** The pool's job count (worker domains + the submitter). *)

@@ -1,0 +1,383 @@
+(* Tests for Mppm_obs.Bench_report: the BENCH_model.json schema is
+   pinned by a golden string (key set + version tag), render -> parse ->
+   render is a fixpoint, legacy v1 reports still parse, and the diff
+   engine classifies improvements, regressions, threshold changes,
+   min-seconds suppression and missing/added phases.  The tail drives
+   the built tools/benchdiff.exe and bin/mppm.exe for the exit-code and
+   error-message contracts. *)
+
+module B = Mppm_obs.Bench_report
+module Prof = Mppm_obs.Prof
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+(* ---- fixtures ------------------------------------------------------------ *)
+
+let mk_phase ?alloc name seconds =
+  { B.ph_name = name; ph_seconds = seconds; ph_alloc_bytes = alloc }
+
+let mk_report ?rev ?(params = []) ?pool ~total phases =
+  {
+    B.r_git_rev = rev;
+    r_params = params;
+    r_phases = phases;
+    r_pool = pool;
+    r_total_seconds = total;
+  }
+
+let fixture =
+  mk_report ~rev:"abc1234"
+    ~params:
+      [
+        ("mixes", B.Int 10);
+        ("paper", B.Bool false);
+        ("only", B.Strings [ "fig4" ]);
+      ]
+    ~pool:
+      {
+        B.pl_jobs = 4;
+        pl_tasks = 30.0;
+        pl_utilization = 0.85;
+        pl_wait_p50 = 0.001;
+        pl_wait_p99 = 0.01;
+        pl_dur_p50 = 0.4;
+        pl_dur_p90 = 0.9;
+        pl_dur_p99 = 1.2;
+      }
+    ~total:13.0
+    [
+      mk_phase ~alloc:1048576.0 "section fig4" 12.345678;
+      mk_phase "write tables" 0.25;
+    ]
+
+(* The schema golden: key set, nesting and version tag of the v2 report.
+   If this test breaks, either bump the schema version or fix the
+   writer — consumers (benchdiff, CI) parse exactly this shape. *)
+let fixture_golden =
+  String.concat "\n"
+    [
+      "{";
+      "  \"schema\": \"mppm-bench/2\",";
+      "  \"git_rev\": \"abc1234\",";
+      "  \"params\": {\"mixes\": 10, \"paper\": false, \"only\": [\"fig4\"]},";
+      "  \"phases\": [";
+      "    {\"name\": \"section fig4\", \"seconds\": 12.346, \
+       \"alloc_bytes\": 1048576},";
+      "    {\"name\": \"write tables\", \"seconds\": 0.250}";
+      "  ],";
+      "  \"pool\": {\"jobs\": 4, \"tasks\": 30, \"utilization\": 0.8500, \
+       \"wait_p50\": 0.0010, \"wait_p99\": 0.0100, \"dur_p50\": 0.4000, \
+       \"dur_p90\": 0.9000, \"dur_p99\": 1.2000},";
+      "  \"total_seconds\": 13.000";
+      "}";
+      "";
+    ]
+
+let test_schema_golden () =
+  Alcotest.(check string)
+    "to_json matches the pinned mppm-bench/2 document" fixture_golden
+    (B.to_json fixture)
+
+let test_render_parse_render_fixpoint () =
+  let rendered = B.to_json fixture in
+  match B.of_json rendered with
+  | Error msg -> Alcotest.fail ("fixture failed to parse: " ^ msg)
+  | Ok parsed ->
+      Alcotest.(check string)
+        "render -> parse -> render is a fixpoint" rendered (B.to_json parsed)
+
+let test_parse_v1 () =
+  let v1 =
+    String.concat "\n"
+      [
+        "{";
+        "  \"schema\": \"mppm-bench-timings/1\",";
+        "  \"params\": {\"trace\": 1000000, \"mixes\": 10},";
+        "  \"phases\": [";
+        "    {\"name\": \"section fig4\", \"seconds\": 10.000}";
+        "  ],";
+        "  \"total_seconds\": 10.000";
+        "}";
+      ]
+  in
+  match B.of_json v1 with
+  | Error msg -> Alcotest.fail ("v1 report rejected: " ^ msg)
+  | Ok t ->
+      Alcotest.(check (option string)) "v1 has no git_rev" None t.B.r_git_rev;
+      Alcotest.(check bool) "v1 has no pool" true (Option.is_none t.B.r_pool);
+      (match t.B.r_phases with
+      | [ p ] ->
+          Alcotest.(check string) "phase name" "section fig4" p.B.ph_name;
+          Alcotest.(check (float 1e-9)) "phase seconds" 10.0 p.B.ph_seconds;
+          Alcotest.(check bool) "v1 phases carry no alloc" true
+            (Option.is_none p.B.ph_alloc_bytes)
+      | ps ->
+          Alcotest.failf "expected exactly one phase, got %d" (List.length ps));
+      Alcotest.(check (float 1e-9)) "total" 10.0 t.B.r_total_seconds
+
+let test_parse_errors () =
+  let check_error name text =
+    match B.of_json text with
+    | Ok _ -> Alcotest.failf "%s unexpectedly parsed" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (name ^ " error is module-prefixed")
+          true
+          (contains msg "Bench_report:")
+  in
+  check_error "truncated object" "{\"schema\": \"mppm-bench/2\",";
+  check_error "not json at all" "BENCH_model.json";
+  check_error "wrong schema"
+    "{\"schema\": \"something-else/9\", \"phases\": [], \"total_seconds\": 1.0}";
+  check_error "missing total"
+    "{\"schema\": \"mppm-bench/2\", \"phases\": []}"
+
+(* ---- diffing ------------------------------------------------------------- *)
+
+let base_two =
+  mk_report ~rev:"base1" ~total:12.0
+    [ mk_phase "fig4" 10.0; mk_phase "tables" 2.0 ]
+
+let test_diff_improvement () =
+  let current =
+    mk_report ~rev:"cur1" ~total:9.6
+      [ mk_phase "fig4" 8.0; mk_phase "tables" 1.6 ]
+  in
+  let d = B.diff ~baseline:base_two ~current () in
+  Alcotest.(check bool) "no regression" false (B.has_regression d);
+  Alcotest.(check (list string)) "no regressed phases" [] d.B.df_regressions;
+  (match d.B.df_geomean_ratio with
+  | None -> Alcotest.fail "geomean expected over two comparable phases"
+  | Some g ->
+      Alcotest.(check bool) "geomean < 1 on an improvement" true (g < 1.0);
+      Alcotest.(check (float 1e-9)) "geomean is 0.8" 0.8 g);
+  Alcotest.(check (option (float 1e-9))) "total ratio" (Some 0.8)
+    d.B.df_total_ratio;
+  Alcotest.(check (option string)) "base rev" (Some "base1") d.B.df_base_rev;
+  Alcotest.(check (option string)) "cur rev" (Some "cur1") d.B.df_cur_rev
+
+let test_diff_regression () =
+  let current =
+    mk_report ~total:14.0 [ mk_phase "fig4" 12.0; mk_phase "tables" 2.0 ]
+  in
+  let d = B.diff ~baseline:base_two ~current () in
+  Alcotest.(check bool) "regression detected" true (B.has_regression d);
+  Alcotest.(check (list string)) "fig4 is the regressed phase" [ "fig4" ]
+    d.B.df_regressions;
+  let fig4 = List.find (fun dl -> dl.B.dl_name = "fig4") d.B.df_deltas in
+  Alcotest.(check bool) "delta flagged" true fig4.B.dl_regression;
+  Alcotest.(check (option (float 1e-9))) "ratio 1.2" (Some 1.2)
+    fig4.B.dl_ratio;
+  (* A wider threshold clears the same pair. *)
+  let lax = B.diff ~threshold:0.30 ~baseline:base_two ~current () in
+  Alcotest.(check bool) "30% threshold tolerates +20%" false
+    (B.has_regression lax)
+
+let test_diff_min_seconds_suppression () =
+  let baseline = mk_report ~total:0.01 [ mk_phase "tiny" 0.01 ] in
+  let current = mk_report ~total:0.04 [ mk_phase "tiny" 0.04 ] in
+  let d = B.diff ~baseline ~current () in
+  Alcotest.(check bool) "4x on a sub-min_seconds phase is noise" false
+    (B.has_regression d);
+  (* Lowering min_seconds turns the same pair into a regression. *)
+  let strict = B.diff ~min_seconds:0.001 ~baseline ~current () in
+  Alcotest.(check (list string)) "strict min_seconds flags it" [ "tiny" ]
+    strict.B.df_regressions
+
+let test_diff_missing_and_added () =
+  let baseline = mk_report ~total:3.0 [ mk_phase "a" 1.0; mk_phase "b" 2.0 ] in
+  let current = mk_report ~total:3.0 [ mk_phase "a" 1.0; mk_phase "c" 2.0 ] in
+  let d = B.diff ~baseline ~current () in
+  Alcotest.(check (list string)) "missing phases" [ "b" ] d.B.df_missing;
+  Alcotest.(check (list string)) "added phases" [ "c" ] d.B.df_added;
+  Alcotest.(check (list string)) "phase order: baseline first, added last"
+    [ "a"; "b"; "c" ]
+    (List.map (fun dl -> dl.B.dl_name) d.B.df_deltas);
+  (* A vanished or new phase is never a regression by itself. *)
+  Alcotest.(check bool) "no regression" false (B.has_regression d)
+
+let test_diff_invalid_threshold () =
+  Alcotest.check_raises "negative threshold rejected"
+    (Invalid_argument "Bench_report.diff: threshold must be finite and >= 0")
+    (fun () ->
+      ignore (B.diff ~threshold:(-0.1) ~baseline:base_two ~current:base_two ()))
+
+let test_of_prof () =
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 1.0;
+    !t
+  in
+  let prof = Prof.make ~clock in
+  ignore (Prof.time prof "alpha" (fun () -> 1));
+  ignore (Prof.time prof "alpha" (fun () -> 2));
+  let report =
+    B.of_prof ~git_rev:"deadbee" ~params:[ ("jobs", B.Int 1) ] ~total:5.0 prof
+  in
+  Alcotest.(check (option string)) "git rev" (Some "deadbee")
+    report.B.r_git_rev;
+  Alcotest.(check bool) "no pool without tasks" true
+    (Option.is_none report.B.r_pool);
+  match report.B.r_phases with
+  | [ p ] ->
+      Alcotest.(check string) "span name becomes phase" "alpha" p.B.ph_name;
+      Alcotest.(check (float 1e-9)) "summed duration" 2.0 p.B.ph_seconds;
+      Alcotest.(check bool) "alloc recorded" true
+        (Option.is_some p.B.ph_alloc_bytes)
+  | ps -> Alcotest.failf "expected one phase, got %d" (List.length ps)
+
+(* ---- the CLIs ------------------------------------------------------------ *)
+
+(* Locate the built executables the dune test stanza declares as deps;
+   source checkouts without a build skip gracefully (same discipline as
+   suite_sema's driver test). *)
+let built_exe rel =
+  let candidates =
+    (match Sys.getenv_opt "MPPM_LINT_ROOT" with Some r -> [ r ] | None -> [])
+    @ [ ".."; "../.."; "." ]
+  in
+  List.find_map
+    (fun root ->
+      let path = Filename.concat root rel in
+      if Sys.file_exists path then Some path else None)
+    candidates
+
+let run_cli cmd =
+  let out = Filename.temp_file "mppm_cli_out" ".txt" in
+  let rc = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out)) in
+  let text = read_file out in
+  Sys.remove out;
+  (rc, text)
+
+let with_report_file report f =
+  let path = Filename.temp_file "mppm_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path (B.to_json report);
+      f path)
+
+let test_benchdiff_exit_codes () =
+  match built_exe "tools/benchdiff.exe" with
+  | None -> () (* source checkout without a build *)
+  | Some exe ->
+      let faster = mk_report ~total:9.6 [ mk_phase "fig4" 8.0 ] in
+      let slower = mk_report ~total:14.0 [ mk_phase "fig4" 12.0 ] in
+      with_report_file base_two (fun base ->
+          with_report_file faster (fun cur ->
+              let rc, text =
+                run_cli
+                  (Printf.sprintf "%s %s %s" (Filename.quote exe)
+                     (Filename.quote base) (Filename.quote cur))
+              in
+              Alcotest.(check int) "improvement exits 0" 0 rc;
+              Alcotest.(check bool) "table mentions the phase" true
+                (contains text "fig4"));
+          with_report_file slower (fun cur ->
+              let rc, text =
+                run_cli
+                  (Printf.sprintf "%s %s %s" (Filename.quote exe)
+                     (Filename.quote base) (Filename.quote cur))
+              in
+              Alcotest.(check int) "regression exits 1" 1 rc;
+              Alcotest.(check bool) "regression named in output" true
+                (contains text "REGRESSION");
+              let rc, _ =
+                run_cli
+                  (Printf.sprintf "%s --warn-only %s %s" (Filename.quote exe)
+                     (Filename.quote base) (Filename.quote cur))
+              in
+              Alcotest.(check int) "--warn-only exits 0 on regression" 0 rc);
+          let bad = Filename.temp_file "mppm_bench_bad" ".json" in
+          write_file bad "this is not a bench report";
+          let rc, text =
+            run_cli
+              (Printf.sprintf "%s %s %s" (Filename.quote exe)
+                 (Filename.quote base) (Filename.quote bad))
+          in
+          Sys.remove bad;
+          Alcotest.(check int) "malformed report exits 2" 2 rc;
+          Alcotest.(check bool) "parse error is module-prefixed" true
+            (contains text "Bench_report:"))
+
+let test_trace_report_bad_input () =
+  match built_exe "bin/mppm.exe" with
+  | None -> () (* source checkout without a build *)
+  | Some exe ->
+      let empty = Filename.temp_file "mppm_trace_empty" ".jsonl" in
+      write_file empty "";
+      let rc, text =
+        run_cli
+          (Printf.sprintf "%s trace-report %s" (Filename.quote exe)
+             (Filename.quote empty))
+      in
+      Sys.remove empty;
+      Alcotest.(check int) "empty trace exits 2" 2 rc;
+      Alcotest.(check bool) "error names the command" true
+        (contains text "Mppm.trace_report");
+      Alcotest.(check bool) "error hints at recording a trace" true
+        (contains text "hint");
+      let chrome = Filename.temp_file "mppm_trace_chrome" ".jsonl" in
+      write_file chrome "[\n{\"ph\": \"X\"}\n]\n";
+      let rc, text =
+        run_cli
+          (Printf.sprintf "%s trace-report %s" (Filename.quote exe)
+             (Filename.quote chrome))
+      in
+      Sys.remove chrome;
+      Alcotest.(check int) "chrome trace exits 2" 2 rc;
+      Alcotest.(check bool) "error carries file and line" true
+        (contains text "Mppm.trace_report");
+      Alcotest.(check bool) "hint says it looks like a Chrome trace" true
+        (contains text "Chrome")
+
+let tests =
+  [
+    ( "bench-report",
+      [
+        Alcotest.test_case "schema golden: pinned v2 document" `Quick
+          test_schema_golden;
+        Alcotest.test_case "render/parse/render fixpoint" `Quick
+          test_render_parse_render_fixpoint;
+        Alcotest.test_case "legacy v1 reports parse" `Quick test_parse_v1;
+        Alcotest.test_case "malformed input yields Error" `Quick
+          test_parse_errors;
+        Alcotest.test_case "of_prof builds phases from spans" `Quick
+          test_of_prof;
+      ] );
+    ( "bench-diff",
+      [
+        Alcotest.test_case "improvement: no regression, geomean < 1" `Quick
+          test_diff_improvement;
+        Alcotest.test_case "regression flagged, threshold respected" `Quick
+          test_diff_regression;
+        Alcotest.test_case "min_seconds suppresses tiny phases" `Quick
+          test_diff_min_seconds_suppression;
+        Alcotest.test_case "missing and added phases listed" `Quick
+          test_diff_missing_and_added;
+        Alcotest.test_case "invalid threshold rejected" `Quick
+          test_diff_invalid_threshold;
+      ] );
+    ( "bench-cli",
+      [
+        Alcotest.test_case "benchdiff exit codes" `Quick
+          test_benchdiff_exit_codes;
+        Alcotest.test_case "trace-report rejects empty/foreign traces" `Quick
+          test_trace_report_bad_input;
+      ] );
+  ]

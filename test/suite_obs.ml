@@ -10,6 +10,8 @@ module Trace = Mppm_obs.Trace
 module Counter = Mppm_obs.Counter
 module Histogram = Mppm_obs.Histogram
 module Registry = Mppm_obs.Registry
+module Prof = Mppm_obs.Prof
+module Render = Mppm_obs.Render
 module Model = Mppm_core.Model
 module Mix = Mppm_workload.Mix
 open Mppm_experiments
@@ -175,6 +177,16 @@ let counter_gen =
 let counter_of_spec spec =
   Counter.of_alist (List.map (fun (k, v) -> (k, float_of_int v)) spec)
 
+(* Shared by the histogram qcheck laws: samples over fixed bounds. *)
+let quantile_bounds = [| 10.0; 25.0; 50.0; 75.0 |]
+
+let hist_of samples =
+  let h = Histogram.create ~bounds:quantile_bounds in
+  List.iter (fun x -> Histogram.observe h (float_of_int x)) samples;
+  h
+
+let samples_gen = QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 120))
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"counter merge commutes" ~count:300
@@ -215,6 +227,29 @@ let qcheck_tests =
         counts (Histogram.merge a b) = counts (Histogram.merge b a)
         && counts (Histogram.merge (Histogram.merge a b) c)
            = counts (Histogram.merge a (Histogram.merge b c)));
+    QCheck.Test.make ~name:"quantile is monotone in p" ~count:300
+      QCheck.(triple samples_gen (int_range 0 100) (int_range 0 100))
+      (fun (xs, a, b) ->
+        let h = hist_of xs in
+        let p1 = float_of_int (min a b) /. 100.0
+        and p2 = float_of_int (max a b) /. 100.0 in
+        Histogram.quantile h p1 <= Histogram.quantile h p2);
+    QCheck.Test.make ~name:"quantile stays within [min, max]" ~count:300
+      QCheck.(pair samples_gen (int_range 0 100))
+      (fun (xs, pi) ->
+        let h = hist_of xs in
+        let q = Histogram.quantile h (float_of_int pi /. 100.0) in
+        match (Histogram.min_value h, Histogram.max_value h) with
+        | Some lo, Some hi -> q >= lo && q <= hi
+        | _ -> false);
+    QCheck.Test.make ~name:"quantile invariant under merge order" ~count:300
+      QCheck.(triple samples_gen samples_gen (int_range 0 100))
+      (fun (xs, ys, pi) ->
+        let p = float_of_int pi /. 100.0 in
+        let a = hist_of xs and b = hist_of ys in
+        Float.equal
+          (Histogram.quantile (Histogram.merge a b) p)
+          (Histogram.quantile (Histogram.merge b a) p));
     QCheck.Test.make ~name:"JSONL floats round-trip exactly" ~count:500
       QCheck.(float)
       (fun f ->
@@ -245,6 +280,191 @@ let test_histogram_basics () =
   Alcotest.(check int) "bucket count" 5
     (Array.length (Histogram.bucket_counts h))
 
+let test_quantile_basics () =
+  let h = Histogram.create ~bounds:[| 10.0; 20.0; 30.0 |] in
+  Alcotest.(check (float 0.0)) "empty histogram reads 0" 0.0
+    (Histogram.quantile h 0.5);
+  Alcotest.check_raises "p out of range rejected"
+    (Invalid_argument "Histogram.quantile: p must lie in [0, 1]") (fun () ->
+      ignore (Histogram.quantile h 1.5));
+  List.iter (Histogram.observe h) [ 1.0; 5.0; 15.0; 25.0; 100.0 ];
+  Alcotest.(check (float 0.0)) "quantile 0 is the min" 1.0
+    (Histogram.quantile h 0.0);
+  Alcotest.(check (float 0.0)) "quantile 1 is the max" 100.0
+    (Histogram.quantile h 1.0);
+  (* rank 2.5 of 5 lands mid-bucket [10, 20): interpolates to 15. *)
+  Alcotest.(check (float 1e-9)) "median interpolates inside its bucket" 15.0
+    (Histogram.quantile h 0.5)
+
+(* ---- the injected-clock profiler ------------------------------------------ *)
+
+(* A deterministic clock: each read advances virtual time by one second. *)
+let counter_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+let test_prof_null () =
+  let p = Prof.null in
+  Alcotest.(check bool) "null is disabled" false (Prof.enabled p);
+  Alcotest.(check bool) "null has no clock" true
+    (Option.is_none (Prof.clock p));
+  Alcotest.(check int) "time is transparent" 42
+    (Prof.time p "x" (fun () -> 42));
+  Prof.task p ~domain:0 ~start:0.0 ~wait:0.0 ~dur:1.0;
+  Prof.note_jobs p 8;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Prof.spans p));
+  Alcotest.(check int) "no tasks recorded" 0 (List.length (Prof.tasks p));
+  Alcotest.(check bool) "no pool stats" true
+    (Option.is_none (Prof.pool_stats p))
+
+let test_prof_spans () =
+  let p = Prof.make ~clock:(counter_clock ()) in
+  Alcotest.(check bool) "live profiler enabled" true (Prof.enabled p);
+  Alcotest.(check int) "result passes through" 7
+    (Prof.time p "alpha" (fun () -> 7));
+  ignore (Prof.time p "alpha" (fun () -> 1));
+  ignore (Prof.time p "beta" (fun () -> 2));
+  (* A raising scope still records its span. *)
+  (try ignore (Prof.time p "beta" (fun () : int -> failwith "boom"))
+   with Failure _ -> ());
+  let spans = Prof.spans p in
+  Alcotest.(check int) "every scope recorded, raises included" 4
+    (List.length spans);
+  Alcotest.(check (list string)) "completion order"
+    [ "alpha"; "alpha"; "beta"; "beta" ]
+    (List.map (fun s -> s.Prof.sp_name) spans);
+  List.iter
+    (fun s ->
+      (* The counter clock ticks once per read: entry and exit are one
+         virtual second apart. *)
+      Alcotest.(check (float 1e-9)) "span duration is one clock tick" 1.0
+        s.Prof.sp_dur;
+      Alcotest.(check bool) "allocation delta is non-negative" true
+        (s.Prof.sp_alloc_bytes >= 0.0))
+    spans;
+  match Prof.span_stats p with
+  | [ a; b ] ->
+      Alcotest.(check string) "stats sorted by name" "alpha" a.Prof.ss_name;
+      Alcotest.(check string) "stats sorted by name (2)" "beta" b.Prof.ss_name;
+      Alcotest.(check (float 0.0)) "alpha count" 2.0 a.Prof.ss_count;
+      Alcotest.(check (float 1e-9)) "alpha total" 2.0 a.Prof.ss_total;
+      Alcotest.(check bool) "quantiles ordered" true
+        (a.Prof.ss_p50 <= a.Prof.ss_p90 && a.Prof.ss_p90 <= a.Prof.ss_p99)
+  | stats ->
+      Alcotest.failf "expected 2 span stats, got %d" (List.length stats)
+
+let test_prof_pool_stats () =
+  let p = Prof.make ~clock:(counter_clock ()) in
+  Prof.note_jobs p 2;
+  Prof.task p ~domain:0 ~start:0.0 ~wait:0.0 ~dur:2.0;
+  Prof.task p ~domain:1 ~start:1.0 ~wait:0.5 ~dur:1.0;
+  (* Clock skew clamps to zero instead of corrupting the aggregates. *)
+  Prof.task p ~domain:0 ~start:2.0 ~wait:(-0.1) ~dur:2.0;
+  Alcotest.(check int) "tasks logged in order" 3 (List.length (Prof.tasks p));
+  (match Prof.tasks p with
+  | [ _; _; t3 ] ->
+      Alcotest.(check (float 0.0)) "negative wait clamped" 0.0 t3.Prof.tk_wait
+  | _ -> Alcotest.fail "expected 3 tasks");
+  match Prof.pool_stats p with
+  | None -> Alcotest.fail "expected pool stats"
+  | Some s ->
+      Alcotest.(check int) "jobs" 2 s.Prof.p_jobs;
+      Alcotest.(check (float 0.0)) "task count" 3.0 s.Prof.p_tasks;
+      Alcotest.(check (float 1e-9)) "elapsed spans first start to last end"
+        4.0 s.Prof.p_elapsed;
+      (* 5s busy over a 4s window on 2 workers. *)
+      Alcotest.(check (float 1e-9)) "utilization" 0.625 s.Prof.p_utilization;
+      (match s.Prof.p_domains with
+      | [ d0; d1 ] ->
+          Alcotest.(check int) "domain ids sorted" 0 d0.Prof.d_domain;
+          Alcotest.(check (float 0.0)) "domain 0 tasks" 2.0 d0.Prof.d_tasks;
+          Alcotest.(check (float 1e-9)) "domain 0 busy" 4.0 d0.Prof.d_busy;
+          Alcotest.(check (float 0.0)) "domain 1 tasks" 1.0 d1.Prof.d_tasks
+      | ds -> Alcotest.failf "expected 2 domains, got %d" (List.length ds));
+      Alcotest.(check bool) "wait quantiles non-negative" true
+        (s.Prof.p_wait_p50 >= 0.0 && s.Prof.p_wait_p99 >= 0.0);
+      Alcotest.(check bool) "duration quantiles ordered" true
+        (s.Prof.p_dur_p50 <= s.Prof.p_dur_p90
+        && s.Prof.p_dur_p90 <= s.Prof.p_dur_p99)
+
+(* The profiling analogue of the tracing guarantee: wrapping the
+   canonical prediction in Prof spans changes no result bit. *)
+let test_profiled_equals_unprofiled () =
+  let unprofiled =
+    let ctx = Context.create ~seed:7 tiny_scale in
+    Context.predict ctx ~llc_config:1 canonical_mix
+  in
+  let prof = Prof.make ~clock:(counter_clock ()) in
+  let profiled =
+    let ctx = Context.create ~seed:7 tiny_scale in
+    Prof.time prof "predict" (fun () ->
+        Context.predict ctx ~llc_config:1 canonical_mix)
+  in
+  let bits = Int64.bits_of_float in
+  Alcotest.(check int64) "STP bit-for-bit" (bits unprofiled.Model.stp)
+    (bits profiled.Model.stp);
+  Alcotest.(check int64) "ANTT bit-for-bit" (bits unprofiled.Model.antt)
+    (bits profiled.Model.antt);
+  Alcotest.(check int) "same iteration count" unprofiled.Model.iterations
+    profiled.Model.iterations;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "slowdown %d bit-for-bit" i)
+        (bits p.Model.slowdown)
+        (bits profiled.Model.programs.(i).Model.slowdown))
+    unprofiled.Model.programs;
+  Alcotest.(check int) "exactly one span recorded" 1
+    (List.length (Prof.spans prof))
+
+(* ---- stream renderers ----------------------------------------------------- *)
+
+let test_render_jsonl () =
+  let ev1 = Event.make ~name:"a" ~time:1.0 [] in
+  let ev2 = Event.make ~name:"b" ~time:2.0 ~dur:1.0 [ ("k", Event.Int 3) ] in
+  let r = Render.jsonl () in
+  Alcotest.(check string) "no header" "" (Render.header r);
+  Alcotest.(check string) "one line per event"
+    (Event.to_jsonl ev1 ^ "\n")
+    (Render.step r ev1);
+  Alcotest.(check string) "no trailer" "" (Render.finish r);
+  Alcotest.(check string) "whole stream"
+    (Event.to_jsonl ev1 ^ "\n" ^ Event.to_jsonl ev2 ^ "\n")
+    (Render.to_string (Render.jsonl ()) [ ev1; ev2 ])
+
+let test_render_chrome () =
+  let ev1 = Event.make ~name:"a" ~time:1.0 [] in
+  let ev2 = Event.make ~name:"b" ~time:2.0 ~dur:1.0 [ ("k", Event.Int 3) ] in
+  (* The exact byte framing bin/mppm.ml's --trace-format chrome always
+     produced: "[", "\n" before the first object, ",\n" between objects,
+     "\n]\n" at the end. *)
+  Alcotest.(check string) "array framing"
+    ("[\n" ^ Event.to_chrome ev1 ^ ",\n" ^ Event.to_chrome ev2 ^ "\n]\n")
+    (Render.to_string (Render.chrome ()) [ ev1; ev2 ]);
+  Alcotest.(check string) "empty stream still well-formed" "[\n]\n"
+    (Render.to_string (Render.chrome ()) []);
+  let lane ev =
+    Option.value (Event.int_field ev "domain") ~default:0
+  in
+  let ev3 = Event.make ~name:"t" ~time:0.0 ~dur:1.0 [ ("domain", Event.Int 3) ] in
+  let out = Render.to_string (Render.chrome ~lane ()) [ ev3; ev1 ] in
+  Alcotest.(check bool) "lane routes tid" true
+    (let sub = "\"tid\":3" in
+     let rec find i =
+       i + String.length sub <= String.length out
+       && (String.sub out i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  Alcotest.(check bool) "default lane stays 0" true
+    (let sub = "\"tid\":0" in
+     let rec find i =
+       i + String.length sub <= String.length out
+       && (String.sub out i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
 let tests =
   [
     ( "obs.event",
@@ -269,5 +489,20 @@ let tests =
       ] );
     ( "obs.metrics",
       Alcotest.test_case "histogram basics" `Quick test_histogram_basics
+      :: Alcotest.test_case "quantile basics" `Quick test_quantile_basics
       :: List.map QCheck_alcotest.to_alcotest qcheck_tests );
+    ( "obs.prof",
+      [
+        Alcotest.test_case "null profiler is a no-op" `Quick test_prof_null;
+        Alcotest.test_case "spans and per-name stats" `Quick test_prof_spans;
+        Alcotest.test_case "pool task aggregates" `Quick test_prof_pool_stats;
+        Alcotest.test_case "profiled run bit-identical to unprofiled" `Quick
+          test_profiled_equals_unprofiled;
+      ] );
+    ( "obs.render",
+      [
+        Alcotest.test_case "jsonl stream" `Quick test_render_jsonl;
+        Alcotest.test_case "chrome framing and lanes" `Quick
+          test_render_chrome;
+      ] );
   ]

@@ -6,6 +6,7 @@
 
 module Pool = Mppm_pool.Pool
 module Single_flight = Mppm_pool.Single_flight
+module Prof = Mppm_obs.Prof
 module Rng = Mppm_util.Rng
 module Registry = Mppm_obs.Registry
 module Sink = Mppm_obs.Sink
@@ -150,6 +151,73 @@ let test_pool_counters () =
   Alcotest.(check (float 0.0)) "pool.queue_depth_hwm" 11.0
     (Registry.get "pool.queue_depth_hwm")
 
+(* ---- profiler attachment -------------------------------------------------- *)
+
+(* A profiler's clock is read from worker domains, so the test clock is
+   an atomic tick counter: thread-safe, deterministic count, strictly
+   increasing across all readers. *)
+let atomic_clock () =
+  let ticks = Atomic.make 0 in
+  fun () -> float_of_int (Atomic.fetch_and_add ticks 1)
+
+let test_prof_attached_identical () =
+  let xs = Array.init 40 Fun.id in
+  let plain =
+    Pool.with_pool ~jobs:1 (fun pool -> Pool.map pool seeded_task xs)
+  in
+  List.iter
+    (fun jobs ->
+      let prof = Prof.make ~clock:(atomic_clock ()) in
+      let timed =
+        Pool.with_pool ~jobs ~prof (fun pool -> Pool.map pool seeded_task xs)
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "results bit-identical with prof, %d jobs" jobs)
+        plain timed;
+      let tasks = Prof.tasks prof in
+      Alcotest.(check int)
+        (Printf.sprintf "every task recorded, %d jobs" jobs)
+        (Array.length xs) (List.length tasks);
+      List.iter
+        (fun tk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "worker index in [0, %d), %d jobs" jobs jobs)
+            true
+            (tk.Prof.tk_domain >= 0 && tk.Prof.tk_domain < jobs);
+          Alcotest.(check bool) "wait and duration non-negative" true
+            (tk.Prof.tk_wait >= 0.0 && tk.Prof.tk_dur >= 0.0))
+        tasks;
+      match Prof.pool_stats prof with
+      | None -> Alcotest.fail "pool_stats must be Some after a profiled run"
+      | Some st ->
+          Alcotest.(check int)
+            (Printf.sprintf "pool size recorded, %d jobs" jobs)
+            jobs st.Prof.p_jobs;
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "task total, %d jobs" jobs)
+            (float_of_int (Array.length xs))
+            st.Prof.p_tasks;
+          let domain_total =
+            List.fold_left
+              (fun acc d -> acc +. d.Prof.d_tasks)
+              0.0 st.Prof.p_domains
+          in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "per-domain counts sum to total, %d jobs" jobs)
+            (float_of_int (Array.length xs))
+            domain_total)
+    job_counts
+
+let test_prof_null_pool_records_nothing () =
+  let xs = Array.init 9 Fun.id in
+  let result = Pool.with_pool ~jobs:2 (fun pool -> Pool.map pool succ xs) in
+  Alcotest.(check (array int)) "plain pool still maps" (Array.map succ xs)
+    result;
+  Alcotest.(check int) "null profiler records no tasks" 0
+    (List.length (Prof.tasks Prof.null));
+  Alcotest.(check bool) "null profiler has no pool stats" true
+    (Option.is_none (Prof.pool_stats Prof.null))
+
 (* ---- single flight -------------------------------------------------------- *)
 
 let test_single_flight_once () =
@@ -281,6 +349,10 @@ let tests =
         Alcotest.test_case "on_done is serialized and monotonic" `Quick
           test_on_done_serialized;
         Alcotest.test_case "registry counters" `Quick test_pool_counters;
+        Alcotest.test_case "profiled map bit-identical, tasks recorded" `Quick
+          test_prof_attached_identical;
+        Alcotest.test_case "null profiler records nothing" `Quick
+          test_prof_null_pool_records_nothing;
       ] );
     ( "single-flight",
       [

@@ -1,0 +1,97 @@
+(* benchdiff: compare two bench timing reports (BENCH_*.json, schema
+   mppm-bench/2 or the legacy mppm-bench-timings/1) phase by phase.
+
+   Exit codes: 0 = no regression, 1 = at least one phase regressed
+   (suppressed by --warn-only, for CI jobs that only report), 2 = bad
+   input.  All comparison logic lives in Mppm_obs.Bench_report so it is
+   unit-tested; this file only does argv, file reading and exit codes. *)
+
+module Bench_report = Mppm_obs.Bench_report
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Bench_report.of_json text with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let run baseline current threshold min_seconds format warn_only =
+  match (load baseline, load current) with
+  | Error msg, _ | _, Error msg ->
+      prerr_endline ("benchdiff: " ^ msg);
+      2
+  | Ok base, Ok cur ->
+      let d = Bench_report.diff ~threshold ~min_seconds ~baseline:base
+          ~current:cur ()
+      in
+      (match format with
+      | `Text -> Format.printf "%a@." Bench_report.pp_text d
+      | `Markdown -> Format.printf "%a@." Bench_report.pp_markdown d
+      | `Json -> print_string (Bench_report.diff_to_json d));
+      if Bench_report.has_regression d && not warn_only then 1 else 0
+
+open Cmdliner
+
+let baseline =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline report (e.g. BENCH_seed.json).")
+
+let current =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CURRENT" ~doc:"Current report (e.g. BENCH_model.json).")
+
+let threshold =
+  Arg.(
+    value & opt float 0.10
+    & info [ "threshold" ]
+        ~doc:
+          "Regression threshold as a fraction: a phase fails when \
+           current/baseline exceeds 1 + $(docv).")
+
+let min_seconds =
+  Arg.(
+    value & opt float 0.05
+    & info [ "min-seconds" ]
+        ~doc:
+          "Ignore phases where both sides run shorter than $(docv) \
+           seconds (timing noise).")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("markdown", `Markdown); ("json", `Json) ])
+        `Text
+    & info [ "format" ] ~doc:"Output format: $(b,text), $(b,markdown) or \
+                              $(b,json).")
+
+let warn_only =
+  Arg.(
+    value & flag
+    & info [ "warn-only" ]
+        ~doc:"Report regressions but exit 0 anyway (CI advisory mode).")
+
+let cmd =
+  let doc = "Compare two mppm bench timing reports and flag regressions." in
+  Cmd.v
+    (Cmd.info "benchdiff" ~doc ~exits:
+       [
+         Cmd.Exit.info 0 ~doc:"no regression (or --warn-only)";
+         Cmd.Exit.info 1 ~doc:"at least one phase regressed";
+         Cmd.Exit.info 2 ~doc:"unreadable or malformed report";
+       ])
+    Term.(
+      const run $ baseline $ current $ threshold $ min_seconds $ format
+      $ warn_only)
+
+let () = exit (Cmd.eval' cmd)

@@ -29,8 +29,12 @@ let jobs =
   let n = find (Array.to_list Sys.argv) in
   if n <= 0 then Pool.default_jobs () else n
 
+(* Pool task metrics (per-domain counts, queue wait, utilization): the
+   clock is injected here — lib/ stays wall-clock-free (lint rule D1). *)
+let prof = Mppm_obs.Prof.make ~clock:Unix.gettimeofday
+
 let () =
-  Pool.with_pool ~jobs @@ fun pool ->
+  Pool.with_pool ~jobs ~prof @@ fun pool ->
   let hierarchy = Configs.baseline () in
   let cfg = Single_core.config hierarchy in
   let rows =
@@ -129,4 +133,6 @@ let () =
           Printf.printf "  %-12s slowdown measured %.3f predicted %.3f\n" name
             meas_slow pred.Model.slowdown)
         names)
-    mix_reports
+    mix_reports;
+  if Option.is_some (Mppm_obs.Prof.pool_stats prof) then
+    Format.printf "@.%a@." Mppm_obs.Prof.pp_pool prof
