@@ -56,11 +56,14 @@ let create ?(policy = Replacement.Lru) ?partition geometry =
 
 let geometry t = t.geometry
 
-let find_in_set set fill tag =
-  let rec scan i =
-    if i >= fill then None else if set.(i) = tag then Some i else scan (i + 1)
-  in
-  scan 0
+(* Toplevel so the per-access search allocates no closure; tags are ints,
+   so the comparison is monomorphic. *)
+let rec scan_set set fill tag i =
+  if i >= fill then None
+  else if Int.equal set.(i) tag then Some i
+  else scan_set set fill tag (i + 1)
+
+let find_in_set set fill tag = scan_set set fill tag 0
 
 (* Shift a.(0..len-1) down one slot and place [v] at the front.  A manual
    loop beats Array.blit at these sizes (<= 16 elements) and this is the
@@ -75,32 +78,40 @@ let shift_down_and_front a len v =
    above quota evicts its own LRU line; otherwise the LRU line of any
    over-quota owner; otherwise the global LRU line (preferring other
    owners' lines). *)
+(* The three victim predicates, int-coded so the recency scan below stays
+   closure-free on the miss path: 0 = the owner's own line, 1 = a line of
+   any over-quota owner, 2 = any other owner's line. *)
+let victim_matches kind counts quotas owner o =
+  match kind with
+  | 0 -> Int.equal o owner
+  | 1 -> o >= 0 && o < Array.length quotas && counts.(o) > quotas.(o)
+  | _ -> not (Int.equal o owner)
+
+(* Deepest (least-recent) position in [owners_row.(0..from)] matching the
+   predicate, or -1. *)
+let rec deepest_from owners_row counts quotas owner kind from =
+  if from < 0 then -1
+  else if victim_matches kind counts quotas owner owners_row.(from) then from
+  else deepest_from owners_row counts quotas owner kind (from - 1)
+
 let partition_victim owners_row ways quotas owner =
   let n_owners = Array.length quotas in
+  (* lint: allow P1 per-victim owner census; partitioned mode only (fig 6) *)
   let counts = Array.make n_owners 0 in
   for i = 0 to ways - 1 do
     let o = owners_row.(i) in
     if o >= 0 && o < n_owners then counts.(o) <- counts.(o) + 1
   done;
-  let deepest_of pred =
-    let rec scan i =
-      if i < 0 then None else if pred owners_row.(i) then Some i else scan (i - 1)
-    in
-    scan (ways - 1)
-  in
-  if counts.(owner) >= quotas.(owner) && counts.(owner) > 0 then
-    match deepest_of (fun o -> o = owner) with
-    | Some pos -> pos
-    | None -> ways - 1
+  if counts.(owner) >= quotas.(owner) && counts.(owner) > 0 then begin
+    let pos = deepest_from owners_row counts quotas owner 0 (ways - 1) in
+    if pos >= 0 then pos else ways - 1
+  end
   else
-    match
-      deepest_of (fun o -> o >= 0 && o < n_owners && counts.(o) > quotas.(o))
-    with
-    | Some pos -> pos
-    | None -> (
-        match deepest_of (fun o -> o <> owner) with
-        | Some pos -> pos
-        | None -> ways - 1)
+    let pos = deepest_from owners_row counts quotas owner 1 (ways - 1) in
+    if pos >= 0 then pos
+    else
+      let pos = deepest_from owners_row counts quotas owner 2 (ways - 1) in
+      if pos >= 0 then pos else ways - 1
 
 let access_as t ~owner addr =
   let set_idx = Geometry.set_index t.geometry addr in
@@ -141,6 +152,7 @@ let access_as t ~owner addr =
         Miss
       end
       else begin
+        (* lint: allow P1 one insert closure per miss; shared across the four replacement arms *)
         let insert victim_pos =
           shift_down_and_front set (victim_pos + 1) tag;
           match t.owners with

@@ -10,10 +10,12 @@ let mass_close a b =
 
 let create ~assoc =
   if assoc <= 0 then invalid_arg "Sdc.create: assoc must be positive";
+  (* lint: allow P1 per-window SDC; the flat-profile rewrite (ROADMAP item 2) reuses scratch *)
   { assoc; counters = Array.make (assoc + 1) 0.0 }
 
 let assoc t = t.assoc
 
+(* mppm: hot — per-access SDC update *)
 let record t ~depth =
   if depth < 1 then invalid_arg "Sdc.record: depth must be >= 1";
   let i = if depth > t.assoc then t.assoc else depth - 1 in
@@ -44,17 +46,22 @@ let add a b =
           (accesses b));
   sum
 
+(* mppm: hot — per-quantum SDC summation *)
 let add_into ~dst src =
-  if dst.assoc <> src.assoc then invalid_arg "Sdc.add_into: associativity mismatch";
+  if not (Int.equal dst.assoc src.assoc) then
+    invalid_arg "Sdc.add_into: associativity mismatch";
   let before =
     if Invariant.enabled () then accesses dst +. accesses src else 0.0
   in
-  Array.iteri (fun i v -> dst.counters.(i) <- dst.counters.(i) +. v) src.counters;
+  for i = 0 to dst.assoc do
+    dst.counters.(i) <- dst.counters.(i) +. src.counters.(i)
+  done;
   if Invariant.enabled () then
     Invariant.check "sdc.add_mass" (mass_close (accesses dst) before)
 
 let scale t k =
   if k < 0.0 then invalid_arg "Sdc.scale: negative factor";
+  (* lint: allow P1 per-window rescale; the flat-profile rewrite (ROADMAP item 2) scales in place *)
   let scaled = { assoc = t.assoc; counters = Array.map (fun v -> v *. k) t.counters } in
   if Invariant.enabled () then
     Invariant.check "sdc.scale_mass"
@@ -80,21 +87,21 @@ let reduce_associativity t ~assoc:new_assoc =
           new_assoc (accesses t) (accesses reduced));
   reduced
 
+(* misses(k) for integer k ways = sum of counters deeper than k.  A
+   toplevel tail recursion with an unboxed accumulator: no closure, no
+   float ref on the per-quantum projection path. *)
+let rec sum_deeper counters last i acc =
+  if i > last then acc else sum_deeper counters last (i + 1) (acc +. counters.(i))
+
+(* mppm: hot — per-quantum miss projection *)
 let misses_with_ways t ~ways =
   if ways < 0.0 then invalid_arg "Sdc.misses_with_ways: negative ways";
   if ways >= float_of_int t.assoc then misses t
   else
-    (* misses(k) for integer k ways = sum of counters deeper than k. *)
-    let misses_at k =
-      let acc = ref 0.0 in
-      for i = k to t.assoc do
-        acc := !acc +. t.counters.(i)
-      done;
-      !acc
-    in
     let k = int_of_float (floor ways) in
     let frac = ways -. float_of_int k in
-    let lo = misses_at k and hi = misses_at (k + 1) in
+    let lo = sum_deeper t.counters t.assoc k 0.0
+    and hi = sum_deeper t.counters t.assoc (k + 1) 0.0 in
     lo +. (frac *. (hi -. lo))
 
 let to_list t = Array.to_list t.counters

@@ -13,6 +13,7 @@ let create geometry =
   }
 
 
+(* mppm: hot — per-access profiling hook *)
 let record_outcome t outcome =
   let depth =
     match outcome with Cache.Hit d -> d | Cache.Miss -> max_int

@@ -1,5 +1,7 @@
 module Sdc = Mppm_cache.Sdc
 
+(* lint: allow-file P1 per-prediction result vectors; the flat-scratch rewrite (ROADMAP item 2) preallocates them per model *)
+
 type model =
   | Foa
   | Sdc_competition
@@ -17,13 +19,12 @@ type prediction = {
 
 let check_inputs sdcs =
   let n = Array.length sdcs in
-  if n = 0 then invalid_arg "Contention.predict: no programs";
+  if Int.equal n 0 then invalid_arg "Contention.predict: no programs";
   let assoc = Sdc.assoc sdcs.(0) in
-  Array.iter
-    (fun sdc ->
-      if Sdc.assoc sdc <> assoc then
-        invalid_arg "Contention.predict: associativity mismatch")
-    sdcs;
+  for i = 0 to n - 1 do
+    if not (Int.equal (Sdc.assoc sdcs.(i)) assoc) then
+      invalid_arg "Contention.predict: associativity mismatch"
+  done;
   assoc
 
 let finish sdcs shared effective_ways =
@@ -125,11 +126,12 @@ let predict_way_partition quotas sdcs assoc =
   in
   finish sdcs shared ways
 
+(* mppm: hot — per-quantum FOA / contention prediction *)
 let predict model sdcs =
   let assoc = check_inputs sdcs in
   match model with
   | Way_partition quotas -> predict_way_partition quotas sdcs assoc
-  | (Foa | Sdc_competition | Prob _) when Array.length sdcs = 1 ->
+  | (Foa | Sdc_competition | Prob _) when Int.equal (Array.length sdcs) 1 ->
       no_contention sdcs assoc
   | Foa -> predict_foa sdcs assoc
   | Sdc_competition -> predict_sdc_competition sdcs assoc

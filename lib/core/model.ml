@@ -99,6 +99,7 @@ let miss_penalty profile (w : Profile.window) =
       /. total_misses
     else 0.0
 
+(* mppm: hot — the per-quantum convergence loop, ROADMAP item 2 *)
 let run ?(obs = Trace.null) params inputs ~record =
   validate params inputs;
   let states =
@@ -118,8 +119,10 @@ let run ?(obs = Trace.null) params inputs ~record =
   let history = ref [] in
   let iterations = ref 0 in
   (* Virtual clock for trace timestamps: cumulative epoch cycles.  Only
-     read by the observability layer; never feeds back into the model. *)
-  let clock = ref 0.0 in
+     read by the observability layer; never feeds back into the model.  A
+     one-cell float array rather than a ref: the cells of a float array
+     are unboxed, so the per-epoch advance stores no fresh box. *)
+  let clock = [| 0.0 |] in
   let observing = Trace.enabled obs in
   (* Per-epoch scratch only the trace needs; left empty when no sink is
      attached so the untraced hot loop allocates nothing extra. *)
@@ -138,37 +141,36 @@ let run ?(obs = Trace.null) params inputs ~record =
           ("stop_trace_multiplier", Event.Float params.stop_trace_multiplier);
           ("contention", Event.String (Contention.model_name params.contention));
         ]);
-  let stop_reached () =
-    Array.for_all
-      (fun st -> st.ip >= params.stop_trace_multiplier *. st.trace_length)
-      states
-  in
+  (* The stop predicate is hoisted out of [stop_reached] so the per-epoch
+     test allocates no closure: it is built once, before the loop. *)
+  let stop_pred st = st.ip >= params.stop_trace_multiplier *. st.trace_length in
+  let stop_reached () = Array.for_all stop_pred states in
+  (* Argmax scratch, likewise hoisted so each epoch reuses the two cells. *)
+  let slowest = ref 0 in
+  let best = ref 0.0 in
   while not (stop_reached ()) do
     incr iterations;
     (* Step 1: find the epoch budget C set by the slowest program. *)
     let window_l =
-      Array.map
+      Array.map (* lint: allow P1 per-epoch window vector; reused scratch in the ROADMAP-2 rewrite *)
         (fun st -> Profile.window st.input.profile ~start:st.ip ~count:l)
         states
     in
-    let slowest = ref 0 in
-    let epoch_cycles =
-      (* Same value as a Float.max fold; additionally remembers which
-         program set the budget (the first argmax). *)
-      let best = ref 0.0 in
-      Array.iteri
-        (fun i w ->
-          let projected = Profile.window_cpi w *. states.(i).r *. l in
-          if projected > !best then begin
-            best := projected;
-            slowest := i
-          end)
-        window_l;
-      !best
-    in
+    (* Same value as a Float.max fold; additionally remembers which
+       program set the budget (the first argmax). *)
+    slowest := 0;
+    best := 0.0;
+    for i = 0 to n - 1 do
+      let projected = Profile.window_cpi window_l.(i) *. states.(i).r *. l in
+      if projected > !best then begin
+        best := projected;
+        slowest := i
+      end
+    done;
+    let epoch_cycles = !best in
     (* Step 2: per-program progress within C cycles. *)
     let progress =
-      Array.mapi
+      Array.mapi (* lint: allow P1 per-epoch progress vector; ROADMAP item 2 *)
         (fun i st ->
           let cpi = Profile.window_cpi window_l.(i) in
           epoch_cycles /. (cpi *. st.r))
@@ -176,12 +178,13 @@ let run ?(obs = Trace.null) params inputs ~record =
     in
     (* Step 3: window statistics over each program's actual progress. *)
     let windows =
-      Array.mapi
+      Array.mapi (* lint: allow P1 per-epoch window vector; ROADMAP item 2 *)
         (fun i st ->
           Profile.window st.input.profile ~start:st.ip ~count:progress.(i))
         states
     in
     (* Step 4: contention model on the epoch SDCs. *)
+    (* lint: allow P1 per-epoch SDC vector; ROADMAP item 2 *)
     let sdcs = Array.map (fun w -> w.Profile.w_sdc) windows in
     let contention = Contention.predict params.contention sdcs in
     (* Step 4b (extension): bandwidth queueing.  The M/D/1 wait at the
@@ -190,6 +193,7 @@ let run ?(obs = Trace.null) params inputs ~record =
       match params.bandwidth with
       | None -> fun _ -> 0.0
       | Some b ->
+          (* lint: allow P1 bandwidth-extension closures; built only when a channel model is configured *)
           let wait rho =
             let rho = Float.min rho 0.98 in
             b.transfer_cycles *. rho /. (2.0 *. (1.0 -. rho))
@@ -198,6 +202,7 @@ let run ?(obs = Trace.null) params inputs ~record =
             Array.fold_left ( +. ) 0.0 contention.Contention.shared_misses
           in
           let rho_mix = total_shared *. b.transfer_cycles /. epoch_cycles in
+          (* lint: allow P1 bandwidth-extension closure; see above *)
           fun i ->
             let w = windows.(i) in
             let alone_cycles =
@@ -213,7 +218,7 @@ let run ?(obs = Trace.null) params inputs ~record =
     (* Step 5: price the conflict misses and update the slowdowns. *)
     if observing then
       Array.iteri (fun i st -> obs_r_before.(i) <- st.r) states;
-    Array.iteri
+    Array.iteri (* lint: allow P1 per-epoch update closure; the flat-state rewrite (ROADMAP item 2) turns this into a loop over parallel arrays *)
       (fun i st ->
         let penalty = miss_penalty st.input.profile windows.(i) in
         let miss_cycles =
@@ -255,7 +260,7 @@ let run ?(obs = Trace.null) params inputs ~record =
     if observing then begin
       let floats a = Event.List (Array.to_list (Array.map (fun x -> Event.Float x) a)) in
       let iter = !iterations in
-      let time = !clock in
+      let time = clock.(0) in
       Trace.emit obs (fun () ->
           Event.make ~name:"model.quantum" ~time ~dur:epoch_cycles
             [
@@ -288,7 +293,8 @@ let run ?(obs = Trace.null) params inputs ~record =
               ("mean_r", Event.Float mean_r);
             ])
     end;
-    clock := !clock +. epoch_cycles;
+    clock.(0) <- clock.(0) +. epoch_cycles;
+    (* mppm: cold — history recording is opt-in: predict runs with ~record:false *)
     if record then
       history :=
         {
@@ -322,7 +328,7 @@ let run ?(obs = Trace.null) params inputs ~record =
     }
   in
   Trace.emit obs (fun () ->
-      Event.make ~name:"model.result" ~time:!clock
+      Event.make ~name:"model.result" ~time:clock.(0)
         [
           ("iterations", Event.Int result.iterations);
           ("stp", Event.Float result.stp);

@@ -56,6 +56,7 @@ let channel_delay t =
   | None -> 0.0
   | Some channel -> Memory_channel.request channel ~now:t.cycles
 
+(* mppm: hot — inner fetch loop of the simulator step *)
 let issue_fetches t count =
   t.fetch_debt <- t.fetch_debt + count;
   let config = Hierarchy.config t.hierarchy in
@@ -65,24 +66,26 @@ let issue_fetches t count =
     let result = Hierarchy.access t.hierarchy ~kind:Hierarchy.Fetch ~addr in
     let stall = Core_model.fetch_stall t.params result in
     note_llc t result;
-    if result.hit_level = Hierarchy.Memory then begin
-      (* Split the stall: the part an LLC hit would also have suffered
-         scales with the core; the off-chip extra does not. *)
-      let miss_extra =
-        Core_model.fetch_llc_miss_extra_stall t.params ~config
-      in
-      let queueing =
-        t.params.Core_model.fetch_exposure *. channel_delay t
-      in
-      t.cycles <-
-        t.cycles
-        +. (t.compute_scale *. (stall -. miss_extra))
-        +. miss_extra +. queueing;
-      t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
-    end
-    else t.cycles <- t.cycles +. (t.compute_scale *. stall)
+    match result.hit_level with
+    | Hierarchy.Memory ->
+        (* Split the stall: the part an LLC hit would also have suffered
+           scales with the core; the off-chip extra does not. *)
+        let miss_extra =
+          Core_model.fetch_llc_miss_extra_stall t.params ~config
+        in
+        let queueing =
+          t.params.Core_model.fetch_exposure *. channel_delay t
+        in
+        t.cycles <-
+          t.cycles
+          +. (t.compute_scale *. (stall -. miss_extra))
+          +. miss_extra +. queueing;
+        t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
+    | Hierarchy.L1 | Hierarchy.L2 | Hierarchy.Llc ->
+        t.cycles <- t.cycles +. (t.compute_scale *. stall)
   done
 
+(* mppm: hot — per-instruction simulator step *)
 let step t ~cap =
   let cycles_before = t.cycles in
   let phase = Generator.current_phase t.generator in
@@ -103,22 +106,23 @@ let step t ~cap =
       let mlp = phase.Benchmark.mlp in
       let stall = Core_model.data_stall t.params ~mlp result in
       note_llc t result;
-      if result.hit_level = Hierarchy.Memory then begin
-        let miss_extra =
-          Core_model.llc_miss_extra_stall t.params
-            ~config:(Hierarchy.config t.hierarchy)
-            ~mlp
-        in
-        let queueing =
-          t.params.Core_model.memory_exposure *. channel_delay t /. mlp
-        in
-        t.cycles <-
-          t.cycles
-          +. (t.compute_scale *. (stall -. miss_extra))
-          +. miss_extra +. queueing;
-        t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
-      end
-      else t.cycles <- t.cycles +. (t.compute_scale *. stall));
+      (match result.hit_level with
+      | Hierarchy.Memory ->
+          let miss_extra =
+            Core_model.llc_miss_extra_stall t.params
+              ~config:(Hierarchy.config t.hierarchy)
+              ~mlp
+          in
+          let queueing =
+            t.params.Core_model.memory_exposure *. channel_delay t /. mlp
+          in
+          t.cycles <-
+            t.cycles
+            +. (t.compute_scale *. (stall -. miss_extra))
+            +. miss_extra +. queueing;
+          t.memory_stall_cycles <- t.memory_stall_cycles +. miss_extra +. queueing
+      | Hierarchy.L1 | Hierarchy.L2 | Hierarchy.Llc ->
+          t.cycles <- t.cycles +. (t.compute_scale *. stall)));
   if Invariant.enabled () then begin
     Invariant.checkf "simcore.cycles_monotone" (t.cycles >= cycles_before)
       (fun () ->

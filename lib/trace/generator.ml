@@ -112,7 +112,7 @@ let address_space_bytes t = t.address_space_bytes
 let advance t k =
   t.retired <- t.retired + k;
   t.phase_remaining <- t.phase_remaining - k;
-  if t.phase_remaining = 0 then begin
+  if Int.equal t.phase_remaining 0 then begin
     t.phase_idx <- (t.phase_idx + 1) mod Array.length t.phases;
     t.phase_remaining <- t.phases.(t.phase_idx).duration
   end
@@ -143,17 +143,17 @@ let draw_gap t (ps : phase_state) =
     let u = if u <= 0.0 then epsilon_float else u in
     int_of_float (log u *. ps.inv_log_one_minus_p)
 
-(* Weighted region pick with the phase's precomputed total weight. *)
+(* Weighted region pick with the phase's precomputed total weight.  The
+   scan is toplevel so the per-access pick allocates no closure. *)
+let rec scan_weights weights n target i acc =
+  if i >= n - 1 then n - 1
+  else
+    let acc = acc +. weights.(i) in
+    if target < acc then i else scan_weights weights n target (i + 1) acc
+
 let pick_region t (ps : phase_state) =
   let target = Mppm_util.Rng.float t.rng ps.total_weight in
-  let n = Array.length ps.weights in
-  let rec scan i acc =
-    if i >= n - 1 then n - 1
-    else
-      let acc = acc +. ps.weights.(i) in
-      if target < acc then i else scan (i + 1) acc
-  in
-  scan 0 0.0
+  scan_weights ps.weights (Array.length ps.weights) target 0 0.0
 
 let next t ~cap =
   if cap < 1 then invalid_arg "Generator.next: cap must be >= 1";
@@ -167,7 +167,7 @@ let next t ~cap =
     Op.compute limit
   end
   else begin
-    if not (t.pending_valid && t.pending_ratio = phase.Benchmark.mem_ratio)
+    if not (t.pending_valid && Float.equal t.pending_ratio phase.Benchmark.mem_ratio)
     then begin
       t.pending_gap <- draw_gap t ps;
       t.pending_valid <- true;

@@ -651,6 +651,222 @@ let test_fallback_is_flagged () =
   let r = analyze [ ("lib/x/y.ml", "let let let (((") ] in
   Alcotest.(check int) "fallback counted" 1 r.Sema.fallbacks
 
+(* ---- P1-P4: hot-path perf rules ------------------------------------------ *)
+
+let prules r =
+  List.filter (fun x -> String.length x = 2 && x.[0] = 'P') (rules_of r)
+
+let replace_once haystack needle subst =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub haystack i n = needle then
+      Some
+        (String.sub haystack 0 i ^ subst
+        ^ String.sub haystack (i + n) (h - i - n))
+    else go (i + 1)
+  in
+  go 0
+
+let test_hot_root_flagged () =
+  let body = "let f xs = List.map (fun x -> x + 1) xs\n" in
+  let r = analyze [ ("lib/demo/h.ml", "(* mppm: hot *)\n" ^ body) ] in
+  Alcotest.(check (list string)) "allocating call under a hot root is P1"
+    [ "P1" ] (prules r);
+  let r = analyze [ ("lib/demo/h.ml", body) ] in
+  Alcotest.(check (list string)) "annotation removed, no findings" []
+    (prules r)
+
+let test_hot_transitive () =
+  let r =
+    analyze
+      [
+        ("lib/demo/alloc.ml", "let mk a b = (a, b)\n");
+        ("lib/demo/root.ml", "(* mppm: hot *)\nlet run x = Alloc.mk x x\n");
+      ]
+  in
+  Alcotest.(check bool) "callee of a hot root is flagged" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "P1"
+         && d.Diag.file = "lib/demo/alloc.ml"
+         && contains d.Diag.message "hot via Root.run")
+       r.Sema.diags)
+
+let test_hot_cold_guard () =
+  let src =
+    "module Invariant = Mppm_util.Invariant\n\
+     (* mppm: hot *)\n\
+     let f xs =\n\
+    \  if Invariant.enabled () then ignore (List.map (fun x -> x) xs);\n\
+    \  Array.length xs\n"
+  in
+  let r = analyze [ ("lib/demo/h.ml", src) ] in
+  Alcotest.(check (list string)) "sanitizer-guarded branch is cold" []
+    (prules r)
+
+let test_hot_loop_region () =
+  let outside =
+    "(* mppm: hot *)\n\
+     let f n =\n\
+    \  let scratch = Array.make n 0 in\n\
+    \  for i = 0 to n - 1 do scratch.(i) <- i done;\n\
+    \  scratch\n"
+  in
+  let r = analyze [ ("lib/demo/h.ml", outside) ] in
+  Alcotest.(check (list string))
+    "allocation before the loop of a looping root is fine" [] (prules r);
+  let inside =
+    "(* mppm: hot *)\n\
+     let f n =\n\
+    \  let acc = ref [] in\n\
+    \  for i = 0 to n - 1 do acc := (i, i) :: !acc done;\n\
+    \  !acc\n"
+  in
+  let r = analyze [ ("lib/demo/h.ml", inside) ] in
+  Alcotest.(check bool) "allocation inside the loop is flagged" true
+    (List.mem "P1" (prules r))
+
+let test_cold_marker () =
+  let src =
+    "(* mppm: hot *)\n\
+     let f n =\n\
+    \  let acc = ref 0 in\n\
+    \  for i = 0 to n - 1 do\n\
+    \    (* mppm: cold — diagnostics only *)\n\
+    \    if i > n then ignore (string_of_int i ^ \"!\");\n\
+    \    acc := !acc + i\n\
+    \  done;\n\
+    \  !acc\n"
+  in
+  let r = analyze [ ("lib/demo/h.ml", src) ] in
+  Alcotest.(check (list string)) "cold-marked expression is skipped" []
+    (prules r)
+
+let test_p2_p3_p4_shapes () =
+  let check_rule name src rule =
+    let r = analyze [ ("lib/demo/h.ml", src) ] in
+    Alcotest.(check bool) name true (List.mem rule (prules r))
+  in
+  check_rule "polymorphic = on a hot path is P2"
+    "(* mppm: hot *)\nlet f a b = a = b\n" "P2";
+  check_rule "Hashtbl traffic on a hot path is P3"
+    "(* mppm: hot *)\nlet f h k = Hashtbl.find h k\n" "P3";
+  check_rule "boxed-float ref accumulation is P4"
+    "(* mppm: hot *)\nlet f acc x = acc := !acc +. x\n" "P4"
+
+(* The acceptance fixture: the real SDC update is P-clean, and injecting
+   a heap allocation under its (* mppm: hot *) root fails the lint. *)
+let test_injected_allocation_rejected () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let rel = "lib/cache/sdc.ml" in
+      let content = read_file (Filename.concat root rel) in
+      let clean = analyze [ (rel, content) ] in
+      Alcotest.(check (list string)) "real Sdc is P-clean" [] (prules clean);
+      let needle = "let i = if depth > t.assoc then t.assoc else depth - 1 in" in
+      let subst = needle ^ "\n  let boxed = (depth, depth) in\n  ignore boxed;" in
+      (match replace_once content needle subst with
+      | None -> Alcotest.fail "injection site not found in lib/cache/sdc.ml"
+      | Some mutated ->
+          let r = analyze [ (rel, mutated) ] in
+          Alcotest.(check bool) "injected allocation under the hot root fails"
+            true
+            (List.exists
+               (fun d ->
+                 d.Diag.rule = "P1"
+                 && d.Diag.severity = Diag.Error
+                 && contains d.Diag.message "hot")
+               r.Sema.diags))
+
+(* A hot annotation added to one file re-parses only that file, and the
+   cached facts of the callee still carry its perf sites. *)
+let test_cache_hot_annotation () =
+  let cache_file = Filename.temp_file "mppm_sema_cache" ".bin" in
+  let callee = ("lib/demo/alloc.ml", "let mk a b = (a, b)\n") in
+  let root_plain = ("lib/demo/root.ml", "let run x = Alloc.mk x x\n") in
+  let root_hot =
+    ("lib/demo/root.ml", "(* mppm: hot *)\nlet run x = Alloc.mk x x\n")
+  in
+  let first = analyze ~cache_file [ callee; root_plain ] in
+  Alcotest.(check (list string)) "no hot root, no P findings" []
+    (prules first);
+  let second = analyze ~cache_file [ callee; root_hot ] in
+  Alcotest.(check int) "only the annotated file re-parses" 1
+    second.Sema.parses;
+  Alcotest.(check int) "the callee comes from the cache" 1
+    second.Sema.cache_hits;
+  Alcotest.(check bool) "hotness reaches the cached callee" true
+    (List.mem "P1" (prules second));
+  Sys.remove cache_file
+
+(* Propagation laws over the pure reachability core. *)
+let hot_graph_arb =
+  let node = QCheck.Gen.map (fun i -> "n" ^ string_of_int i) (QCheck.Gen.int_bound 9) in
+  let gen =
+    QCheck.Gen.pair
+      (QCheck.Gen.list_size (QCheck.Gen.int_bound 3) node)
+      (QCheck.Gen.list_size (QCheck.Gen.int_bound 12)
+         (QCheck.Gen.pair node (QCheck.Gen.list_size (QCheck.Gen.int_bound 3) node)))
+  in
+  QCheck.make gen
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let hot_closure_tests =
+  let closure = Mppm_sema.Hotpath.closure in
+  [
+    QCheck.Test.make ~name:"hot closure is idempotent" ~count:500 hot_graph_arb
+      (fun (roots, edges) ->
+        let c1 = closure ~roots ~edges in
+        closure ~roots:c1 ~edges = c1);
+    QCheck.Test.make ~name:"hot closure is monotone in the edges" ~count:500
+      (QCheck.pair hot_graph_arb hot_graph_arb)
+      (fun ((roots, edges), (_, more)) ->
+        subset (closure ~roots ~edges) (closure ~roots ~edges:(edges @ more)));
+    QCheck.Test.make
+      ~name:"removing a root (annotation) never widens the hot set" ~count:500
+      (QCheck.pair hot_graph_arb hot_graph_arb)
+      (fun ((roots, edges), (extra, _)) ->
+        subset (closure ~roots ~edges)
+          (closure ~roots:(roots @ extra) ~edges));
+    QCheck.Test.make ~name:"hot closure contains its roots" ~count:500
+      hot_graph_arb
+      (fun (roots, edges) -> subset roots (closure ~roots ~edges));
+  ]
+
+(* Driver-level coverage: unknown rule names are a usage error, and
+   --report hot prints the inventory. *)
+let test_driver_unknown_rule_and_report () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let exe = Filename.concat root "tools/lint/lint.exe" in
+      if not (Sys.file_exists exe) then
+        (* Source checkouts don't carry the binary; the in-process
+           coverage above exercises the same paths. *)
+        ()
+      else begin
+        let out = Filename.temp_file "mppm_lint_out" ".txt" in
+        let run args =
+          Sys.command
+            (Printf.sprintf "%s --root %s %s > %s 2>&1" (Filename.quote exe)
+               (Filename.quote root) args (Filename.quote out))
+        in
+        let rc = run "--rules P1,BOGUS" in
+        Alcotest.(check int) "unknown rule exits 2" 2 rc;
+        Alcotest.(check bool) "message names the rule" true
+          (contains (read_file out) "lint: unknown rule BOGUS");
+        let rc = run "--only NOPE" in
+        Alcotest.(check int) "unknown --only exits 2" 2 rc;
+        let rc = run "--report hot" in
+        Alcotest.(check int) "--report hot exits 0" 0 rc;
+        Alcotest.(check bool) "inventory header printed" true
+          (contains (read_file out) "hot-path inventory:");
+        Sys.remove out
+      end
+
 (* ---- Incremental cache ---------------------------------------------------- *)
 
 let test_cache_zero_reparses () =
@@ -848,8 +1064,24 @@ let tests =
         Alcotest.test_case "shared suppression" `Quick test_suppression;
         Alcotest.test_case "fallback is flagged" `Quick test_fallback_is_flagged;
       ] );
+    ( "sema.hotpath",
+      [
+        Alcotest.test_case "P1 hot root" `Quick test_hot_root_flagged;
+        Alcotest.test_case "hotness is transitive" `Quick test_hot_transitive;
+        Alcotest.test_case "cold guard excluded" `Quick test_hot_cold_guard;
+        Alcotest.test_case "loop region only" `Quick test_hot_loop_region;
+        Alcotest.test_case "mppm: cold marker" `Quick test_cold_marker;
+        Alcotest.test_case "P2/P3/P4 shapes" `Quick test_p2_p3_p4_shapes;
+        Alcotest.test_case "injected allocation rejected" `Quick
+          test_injected_allocation_rejected;
+        Alcotest.test_case "hot annotation re-parses one file" `Quick
+          test_cache_hot_annotation;
+        Alcotest.test_case "driver: unknown rule, --report hot" `Quick
+          test_driver_unknown_rule_and_report;
+      ] );
     ( "sema.properties",
-      List.map QCheck_alcotest.to_alcotest (qcheck_tests @ lattice_tests) );
+      List.map QCheck_alcotest.to_alcotest
+        (qcheck_tests @ lattice_tests @ hot_closure_tests) );
     ( "sema.cache",
       [
         Alcotest.test_case "zero re-parses on unchanged inputs" `Quick

@@ -14,6 +14,8 @@ type lexed = {
   docs : doc list;
   allows : (string * int) list;
   allow_files : string list;
+  hots : int list;
+  colds : int list;
 }
 
 let is_digit c = c >= '0' && c <= '9'
@@ -34,6 +36,22 @@ let is_op_char c =
    may also be comma-separated).  Returns the scope and the listed rule
    ids. *)
 type allow_scope = Allow_line | Allow_file
+
+(* Recognize a hotness annotation: "mppm: hot" marks the toplevel binding
+   on the same line (or the line below) as a hotness root for the
+   sema-layer P rules; "mppm: cold" marks the expression starting on the
+   same line (or the line below) as off the hot path.  Either may be
+   followed by free-form rationale text. *)
+type hot_mark = Mark_hot | Mark_cold
+
+let parse_hot body =
+  match
+    String.split_on_char ' ' (String.trim body)
+    |> List.filter (fun s -> s <> "")
+  with
+  | "mppm:" :: "hot" :: _ -> Some Mark_hot
+  | "mppm:" :: "cold" :: _ -> Some Mark_cold
+  | _ -> None
 
 let parse_allow body =
   let body = String.trim body in
@@ -70,6 +88,8 @@ let lex source =
   let docs = ref [] in
   let allows = ref [] in
   let allow_files = ref [] in
+  let hots = ref [] in
+  let colds = ref [] in
   let line = ref 1 in
   let i = ref 0 in
   let peek k = if !i + k < n then Some source.[!i + k] else None in
@@ -159,6 +179,11 @@ let lex source =
     let body = Buffer.contents buf in
     if is_doc then docs := { doc_start = start_line; doc_end = !line } :: !docs
     else
+      match parse_hot body with
+      | Some Mark_hot -> hots := start_line :: !hots
+      | Some Mark_cold -> colds := start_line :: !colds
+      | None -> (
+      (* fall through to the allow-comment parse *)
       match parse_allow body with
       | Some (Allow_line, rules) ->
           List.iter
@@ -166,7 +191,7 @@ let lex source =
             rules
       | Some (Allow_file, rules) ->
           List.iter (fun rule -> allow_files := rule :: !allow_files) rules
-      | None -> ()
+      | None -> ())
   in
   while !i < n do
     let c = source.[!i] in
@@ -332,4 +357,6 @@ let lex source =
     docs = List.rev !docs;
     allows = List.rev !allows;
     allow_files = List.rev !allow_files;
+    hots = List.rev !hots;
+    colds = List.rev !colds;
   }

@@ -27,6 +27,14 @@ type lexed = {
   allow_files : string list;
       (** rules suppressed for the whole file by
           [(* lint: allow-file <rule> ... *)] comments *)
+  hots : int list;
+      (** start lines of [(* mppm: hot ... *)] hot-root annotations; the
+          sema layer attaches each to the toplevel binding on the same
+          line or the line below *)
+  colds : int list;
+      (** start lines of [(* mppm: cold ... *)] annotations excluding the
+          expression starting on the same line (or the line below) from
+          the hot region *)
 }
 
 val lex : string -> lexed

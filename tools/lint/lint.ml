@@ -2,11 +2,13 @@
    merged findings, exit 1 on errors.
 
    Layers: the token rules (D1 D2 F1 M1 E1 O1, Mppm_lint) and the AST
-   rules (S1-S8, Mppm_sema).  Both share root-relative paths and
-   the [(* lint: allow ... *)] suppression comments.
+   rules (S1-S8 and the hot-path perf rules P1-P4, Mppm_sema).  Both
+   share root-relative paths and the [(* lint: allow ... *)]
+   suppression comments.
 
    Usage: lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]...
-                   [--rules R1,R2] [--fix] [--cache FILE] [--verbose] *)
+                   [--rules R1,R2] [--fix] [--cache FILE] [--verbose]
+                   [--report hot] [--bench FILE] *)
 
 module Diag = Mppm_lint.Diag
 module Engine = Mppm_lint.Engine
@@ -18,7 +20,103 @@ type format = Text | Json | Sarif
 
 let usage =
   "lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]... \
-   [--rules R1,R2] [--fix] [--cache FILE] [--verbose]"
+   [--rules R1,R2] [--fix] [--cache FILE] [--verbose] [--report hot] \
+   [--bench FILE]"
+
+(* Human-readable byte counts for the Gc cross-reference table. *)
+let pp_bytes b =
+  if b >= 1e9 then Printf.sprintf "%.2f GB" (b /. 1e9)
+  else if b >= 1e6 then Printf.sprintf "%.2f MB" (b /. 1e6)
+  else if b >= 1e3 then Printf.sprintf "%.2f kB" (b /. 1e3)
+  else Printf.sprintf "%.0f B" b
+
+(* --report hot: the ranked hot-path inventory.  Findings stay with the
+   normal lint run; this mode is the work-list view — every function the
+   hotness propagation reached, its shortest chain back to a
+   (* mppm: hot *) root, and its P1-P4 sites (open or allow-suppressed).
+   When a bench report with per-phase Gc deltas is available
+   (BENCH_model.json by default, --bench to point elsewhere), its
+   allocation totals are appended so the static inventory can be read
+   against the measured churn. *)
+let report_hot ~root ~bench (report : Mppm_sema.Sema.report) =
+  let hot = report.Mppm_sema.Sema.hot in
+  let roots = List.filter (fun e -> e.Mppm_sema.Hotpath.h_root) hot in
+  let sites = List.concat_map (fun e -> e.Mppm_sema.Hotpath.h_sites) hot in
+  let open_sites = List.filter (fun (_, allowed) -> not allowed) sites in
+  Printf.printf
+    "hot-path inventory: %d hot function%s (%d root%s), %d site%s (%d \
+     open, %d allowed)\n"
+    (List.length hot)
+    (if List.length hot = 1 then "" else "s")
+    (List.length roots)
+    (if List.length roots = 1 then "" else "s")
+    (List.length sites)
+    (if List.length sites = 1 then "" else "s")
+    (List.length open_sites)
+    (List.length sites - List.length open_sites);
+  List.iter
+    (fun e ->
+      if e.Mppm_sema.Hotpath.h_sites <> [] then begin
+        Printf.printf "\n%s (%s:%d)\n" e.Mppm_sema.Hotpath.h_label
+          e.Mppm_sema.Hotpath.h_rel e.Mppm_sema.Hotpath.h_line;
+        Printf.printf "  chain: %s\n"
+          (String.concat " -> " e.Mppm_sema.Hotpath.h_chain);
+        List.iter
+          (fun ((s : Mppm_sema.Facts.perf_site), allowed) ->
+            Printf.printf "  %s:%d  %s  %s%s\n" e.Mppm_sema.Hotpath.h_rel
+              s.Mppm_sema.Facts.ps_line s.Mppm_sema.Facts.ps_rule
+              s.Mppm_sema.Facts.ps_what
+              (if allowed then "  [allowed]" else ""))
+          e.Mppm_sema.Hotpath.h_sites
+      end)
+    hot;
+  let clean =
+    List.filter (fun e -> e.Mppm_sema.Hotpath.h_sites = []) hot
+  in
+  if clean <> [] then
+    Printf.printf "\n%d hot function%s with no perf sites: %s\n"
+      (List.length clean)
+      (if List.length clean = 1 then "" else "s")
+      (String.concat ", "
+         (List.map (fun e -> e.Mppm_sema.Hotpath.h_label) clean));
+  let bench_path =
+    if bench <> "" then Some bench
+    else
+      let candidate name =
+        let p = Filename.concat root name in
+        if Sys.file_exists p then Some p else None
+      in
+      match candidate "BENCH_model.json" with
+      | Some p -> Some p
+      | None -> candidate "BENCH_seed.json"
+  in
+  match bench_path with
+  | None -> ()
+  | Some path -> (
+      let text =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> Some (really_input_string ic (in_channel_length ic)))
+        with Sys_error _ -> None
+      in
+      match text with
+      | None -> Printf.printf "\n(bench report %s is unreadable)\n" path
+      | Some text -> (
+          match Mppm_obs.Bench_report.of_json text with
+          | Error msg -> Printf.printf "\n(bench report %s: %s)\n" path msg
+          | Ok bench ->
+              Printf.printf "\nGc allocation context (%s):\n" path;
+              List.iter
+                (fun (ph : Mppm_obs.Bench_report.phase) ->
+                  match ph.Mppm_obs.Bench_report.ph_alloc_bytes with
+                  | None -> ()
+                  | Some b ->
+                      Printf.printf "  %-28s %10s allocated in %.1fs\n"
+                        ph.Mppm_obs.Bench_report.ph_name (pp_bytes b)
+                        ph.Mppm_obs.Bench_report.ph_seconds)
+                bench.Mppm_obs.Bench_report.r_phases))
 
 let () =
   let root = ref "." in
@@ -27,6 +125,8 @@ let () =
   let fix = ref false in
   let cache_file = ref "" in
   let verbose = ref false in
+  let report_mode = ref "" in
+  let bench = ref "" in
   let add_rule r =
     if not (List.mem r Rules.all_rule_ids) then begin
       Printf.eprintf "lint: unknown rule %s (known: %s)\n" r
@@ -68,6 +168,20 @@ let () =
         Arg.Set verbose,
         "  print per-layer statistics (sema parses / cache hits / fallbacks)"
       );
+      ( "--report",
+        Arg.String
+          (fun s ->
+            if s <> "hot" then begin
+              Printf.eprintf "lint: unknown report %s (known: hot)\n" s;
+              exit 2
+            end;
+            report_mode := s),
+        "hot  print the ranked hot-path inventory instead of findings" );
+      ( "--bench",
+        Arg.Set_string bench,
+        "FILE  bench report whose Gc deltas annotate --report hot \
+         (default: BENCH_model.json, then BENCH_seed.json, under --root)"
+      );
     ]
   in
   Arg.parse spec
@@ -95,12 +209,16 @@ let () =
           (if n = 1 then "" else "s"))
       fixed
   end;
-  let token_diags = Engine.lint_tree ~root:!root in
   let report =
     Mppm_sema.Sema.analyze_tree
       ?cache_file:(if !cache_file = "" then None else Some !cache_file)
       ~root:!root ()
   in
+  if !report_mode = "hot" then begin
+    report_hot ~root:!root ~bench:!bench report;
+    exit 0
+  end;
+  let token_diags = Engine.lint_tree ~root:!root in
   let diags = List.sort Diag.compare (token_diags @ report.Mppm_sema.Sema.diags) in
   let diags =
     match !only with

@@ -108,6 +108,36 @@ let all =
         "Lock order: lib/pool/ and the obs registry must acquire their \
          mutexes in the declared order (pool before registry).";
     };
+    {
+      id = "P1";
+      layer = "ast";
+      summary =
+        "Heap allocation on a hot path: closure capture, \
+         tuple/record/array/list construction, or an allocating stdlib \
+         call (Array.append, List.map, Printf/Format, ...) reachable \
+         from a (* mppm: hot *) root.";
+    };
+    {
+      id = "P2";
+      layer = "ast";
+      summary =
+        "Polymorphic =/<>/compare/Hashtbl.hash reaching a hot path; use \
+         monomorphic Int.equal/Float.equal.";
+    };
+    {
+      id = "P3";
+      layer = "ast";
+      summary =
+        "Hashtbl traffic (create/add/find/iter/...) on a hot path: the \
+         per-quantum loop must index arrays, not hash.";
+    };
+    {
+      id = "P4";
+      layer = "ast";
+      summary =
+        "Boxed-float ref accumulation in a hot loop; accumulate through \
+         a float array cell or an unboxed accumulator argument.";
+    };
   ]
 
 let all_ids = List.map (fun r -> r.id) all

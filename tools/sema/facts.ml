@@ -40,6 +40,12 @@ type task =
 
 type pool_call = { pc_entry : string; pc_line : int; pc_tasks : task list }
 
+type perf_site = {
+  ps_rule : string;  (* "P1".."P4" *)
+  ps_what : string;  (* human description of the offending shape *)
+  ps_line : int;
+}
+
 type fn = {
   fn_name : string;
   fn_line : int;
@@ -58,6 +64,21 @@ type fn = {
       (* (callee, ident, line): calls passing a module-level value as the
          first positional argument *)
   raises : bool;
+  fn_hot : bool;  (* carries a (* mppm: hot *) root annotation *)
+  fn_has_loop : bool;  (* the warm region contains a while/for loop *)
+  warm_sites : perf_site list;
+      (* P1-P4 shapes anywhere in the body outside cold guards
+         (Invariant/Trace-conditioned branches, Trace.emit thunks,
+         mppm:cold-marked expressions) *)
+  loop_sites : perf_site list;
+      (* the subset of warm_sites inside while/for loops, including the
+         bodies of local lambdas referenced from a loop *)
+  warm_calls : string list list;
+      (* value paths referenced outside cold guards: the hotness
+         propagation edges of a non-root (or loop-free root) hot fn *)
+  loop_calls : string list list;
+      (* value paths referenced inside loops: the propagation edges of an
+         annotated root whose hot region is its loops *)
 }
 
 type rng_create = { rc_line : int; rc_constant_seed : bool }
@@ -426,6 +447,89 @@ let rec positional_params e =
   | Parsetree.Pexp_constraint (e, _) -> positional_params e
   | _ -> []
 
+(* ---- hot-path perf primitives (P1-P4) ---------------------------------- *)
+
+(* Stdlib calls that allocate on every invocation, beyond the mutable
+   allocators already in [alloc_prim_of_path]: list/array producers,
+   string builders and the formatting modules.  [Hashtbl] is deliberately
+   absent — any hashtable traffic on a hot path is P3, not P1. *)
+let perf_alloc_of_path path =
+  match alloc_prim_of_path path with
+  | Some p when String.length p >= 8 && String.sub p 0 8 = "Hashtbl." -> None
+  | Some p -> Some p
+  | None -> (
+      match path with
+      | [ "@" ] | [ "Stdlib"; "@" ] -> Some "list append (@)"
+      | [ "^" ] | [ "Stdlib"; "^" ] -> Some "string concat (^)"
+      | _ -> (
+          match List.rev path with
+          | m :: "Array" :: _ when List.mem m [ "append"; "concat"; "to_list"; "to_seq"; "split"; "combine" ]
+            ->
+              Some ("Array." ^ m)
+          | m :: "List" :: _
+            when List.mem m
+                   [
+                     "map"; "mapi"; "map2"; "rev_map"; "init"; "append";
+                     "concat"; "concat_map"; "filter"; "filter_map"; "rev";
+                     "rev_append"; "sort"; "stable_sort"; "fast_sort";
+                     "sort_uniq"; "merge"; "split"; "combine"; "of_seq";
+                     "to_seq"; "cons";
+                   ] ->
+              Some ("List." ^ m)
+          | m :: "String" :: _
+            when List.mem m [ "make"; "init"; "sub"; "concat"; "cat"; "map"; "mapi"; "split_on_char" ]
+            ->
+              Some ("String." ^ m)
+          | _ :: "Printf" :: _ -> Some "Printf formatting"
+          | _ :: "Format" :: _ -> Some "Format formatting"
+          | _ -> None))
+
+(* Polymorphic structural comparison: the runtime walks the representation
+   through a C call, boxing floats on the way.  [<]/[<=] are excluded —
+   the tree only uses them on immediates the compiler specializes. *)
+let poly_compare_of_path path =
+  match path with
+  | [ ("=" | "<>" | "compare") as p ] | [ "Stdlib"; (("=" | "<>" | "compare") as p) ]
+    ->
+      Some (if p = "compare" then "compare" else "( " ^ p ^ " )")
+  | _ -> (
+      match List.rev path with
+      | ("hash" | "hash_param" | "seeded_hash") :: "Hashtbl" :: _ ->
+          Some "Hashtbl.hash"
+      | _ -> None)
+
+let hashtbl_member_of_path path =
+  match List.rev path with
+  | m :: "Hashtbl" :: _ -> Some ("Hashtbl." ^ m)
+  | _ -> None
+
+(* Conditions that gate off-hot-path work: the sanitizer and the trace
+   sink are disabled on the bench path, so branches they guard are cold. *)
+let is_cold_guard_path path =
+  match List.rev path with
+  | "enabled" :: ("Invariant" | "Trace" | "Prof") :: _ -> true
+  | _ -> false
+
+(* Applications whose argument work only runs when observability is on:
+   Trace.emit takes a thunk forced behind the sink check, and the
+   Invariant entry points only evaluate under MPPM_SANITIZE. *)
+let is_cold_apply_path path =
+  match List.rev path with
+  | "emit" :: "Trace" :: _ -> true
+  | _ :: "Invariant" :: _ -> true
+  | _ -> false
+
+(* Single lowercase idents that resolve to the stdlib, not to a captured
+   binding: referencing one from a lambda does not force an environment. *)
+let pervasive_idents =
+  [
+    "not"; "ignore"; "min"; "max"; "abs"; "fst"; "snd"; "succ"; "pred";
+    "float_of_int"; "int_of_float"; "string_of_int"; "truncate"; "sqrt";
+    "log"; "exp"; "ceil"; "floor"; "epsilon_float"; "infinity"; "nan";
+    "max_int"; "min_int"; "raise"; "failwith"; "invalid_arg"; "compare";
+    "incr"; "decr"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+  ]
+
 (* ---- per-file extraction ----------------------------------------------- *)
 
 type state = {
@@ -437,6 +541,8 @@ type state = {
   mutable st_refs : string list list;
   mutable st_creates : rng_create list;
   mutable st_accums : float_accum list;
+  mutable st_hots : int list;
+  mutable st_colds : int list;
 }
 
 let rec pattern_names p =
@@ -501,6 +607,245 @@ let summarize_closure st lambda =
     ct_calls = List.sort_uniq compare !calls;
     ct_escaping = List.rev !escaping;
   }
+
+(* Whether a lambda captures anything: a reference to a single-ident name
+   bound neither inside the lambda nor at the module toplevel forces a
+   closure environment at runtime.  Capture-free lambdas are statically
+   allocated by the compiler and cost nothing per call, so P1 skips
+   them. *)
+let lambda_captures st lambda =
+  let bound, _ = binding_env st.st_aliases lambda in
+  expr_contains
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt = Longident.Lident v; _ } ->
+          String.length v > 0
+          && (match v.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+          && (not (List.mem v bound))
+          && (not (List.mem v st.st_toplevel))
+          && not (List.mem v pervasive_idents)
+      | _ -> false)
+    lambda
+
+let rec strip_params e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, _, rest) -> strip_params rest
+  | Parsetree.Pexp_newtype (_, rest) -> strip_params rest
+  | Parsetree.Pexp_constraint (e, _) -> strip_params e
+  | _ -> e
+
+(* P1-P4 site collection with hot-region structure.  One walk over the
+   body records every perf-relevant shape outside the cold guards
+   (branches conditioned on Invariant/Trace/Prof.enabled or an ident
+   bound to one, Trace.emit/Invariant applications, and expressions under
+   an [(* mppm: cold *)] marker).  Sites and referenced paths inside
+   while/for loops land in the loop region too, and the bodies of local
+   lambdas referenced from a loop are folded into the loop region by a
+   worklist pass — so [let stop () = ... in while not (stop ()) do]
+   contributes [stop]'s body to the loop. *)
+let perf_scan st body =
+  let warm_sites = ref [] and loop_sites = ref [] in
+  let warm_calls = ref [] and loop_calls = ref [] in
+  let has_loop = ref false in
+  let loop_idents = ref [] in
+  let local_lambdas = ref [] in
+  let in_loop = ref false in
+  let loop_only = ref false in
+  (* Idents let-bound to a cold-guard read:
+     [let observing = Trace.enabled obs]. *)
+  let cold_idents = ref [] in
+  let cold_rhs e =
+    expr_contains
+      (fun e ->
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident { txt; _ } ->
+            is_cold_guard_path (expand st.st_aliases (flatten txt))
+        | _ -> false)
+      e
+  in
+  let collect_cold =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+                  | Parsetree.Ppat_var { txt = v; _ }
+                    when cold_rhs vb.Parsetree.pvb_expr ->
+                      cold_idents := v :: !cold_idents
+                  | _ -> ())
+                vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  collect_cold.expr collect_cold body;
+  let is_cold_cond c =
+    expr_contains
+      (fun e ->
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident { txt; _ } -> (
+            match expand st.st_aliases (flatten txt) with
+            | [ v ] -> List.mem v !cold_idents
+            | path -> is_cold_guard_path path)
+        | _ -> false)
+      c
+  in
+  let marked_cold e =
+    let line = line_of_expr e in
+    List.mem line st.st_colds || List.mem (line - 1) st.st_colds
+  in
+  let site rule what line =
+    let s = { ps_rule = rule; ps_what = what; ps_line = line } in
+    if not !loop_only then warm_sites := s :: !warm_sites;
+    if !in_loop || !loop_only then loop_sites := s :: !loop_sites
+  in
+  let record_call path =
+    if path <> [] then begin
+      if not !loop_only then warm_calls := path :: !warm_calls;
+      if !in_loop || !loop_only then begin
+        loop_calls := path :: !loop_calls;
+        match path with
+        | [ v ] -> loop_idents := v :: !loop_idents
+        | _ -> ()
+      end
+    end
+  in
+  let apply_sites line path args =
+    match hashtbl_member_of_path path with
+    | Some m -> site "P3" m line
+    | None -> (
+        match perf_alloc_of_path path with
+        | Some p -> site "P1" ("allocating call " ^ p) line
+        | None -> (
+            match poly_compare_of_path path with
+            | Some p -> site "P2" ("polymorphic " ^ p) line
+            | None ->
+                if path = [ ":=" ] || path = [ "Stdlib"; ":=" ] then
+                  match nth_positional args 1 with
+                  | Some rhs when expr_contains is_float_op rhs ->
+                      site "P4" "boxed-float ref accumulation" line
+                  | _ -> ()))
+  in
+  let iter = ref Ast_iterator.default_iterator in
+  let handle it e =
+    if not (marked_cold e) then
+      let line = line_of_expr e in
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_while (cond, loop_body) ->
+          if not !loop_only then has_loop := true;
+          let saved = !in_loop in
+          in_loop := true;
+          it.Ast_iterator.expr it cond;
+          it.Ast_iterator.expr it loop_body;
+          in_loop := saved
+      | Parsetree.Pexp_for (_, lo, hi, _, loop_body) ->
+          if not !loop_only then has_loop := true;
+          it.Ast_iterator.expr it lo;
+          it.Ast_iterator.expr it hi;
+          let saved = !in_loop in
+          in_loop := true;
+          it.Ast_iterator.expr it loop_body;
+          in_loop := saved
+      | Parsetree.Pexp_ifthenelse (cond, _, else_opt) when is_cold_cond cond
+        -> (
+          match else_opt with
+          | Some else_ -> it.Ast_iterator.expr it else_
+          | None -> ())
+      | Parsetree.Pexp_apply (head, args) ->
+          let path = head_path st.st_aliases head in
+          if not (is_cold_apply_path path) then begin
+            record_call path;
+            apply_sites line path args;
+            (match head.Parsetree.pexp_desc with
+            | Parsetree.Pexp_ident _ -> ()
+            | _ -> it.Ast_iterator.expr it head);
+            List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+          end
+      | Parsetree.Pexp_ident { txt; _ } -> (
+          let path = expand st.st_aliases (flatten txt) in
+          record_call path;
+          match poly_compare_of_path path with
+          | Some p -> site "P2" ("polymorphic " ^ p ^ " passed as a value") line
+          | None -> ())
+      | Parsetree.Pexp_fun _ ->
+          (* A syntactically curried chain compiles to one multi-param
+             closure, so captures are judged on the whole chain and the
+             intermediate fun nodes are skipped — an outer param is not a
+             capture of the inner lambda. *)
+          if lambda_captures st e then
+            site "P1" "closure allocation (captures its environment)" line;
+          it.Ast_iterator.expr it (strip_params e)
+      | Parsetree.Pexp_function _ ->
+          if lambda_captures st e then
+            site "P1" "closure allocation (captures its environment)" line;
+          Ast_iterator.default_iterator.expr it e
+      | Parsetree.Pexp_match
+          ({ pexp_desc = Parsetree.Pexp_tuple comps; _ }, cases) ->
+          (* [match (a, b) with ...] deconstructs the pair in place — the
+             compiler never builds the tuple — so only the components and
+             the cases are scanned, not the scrutinee tuple itself. *)
+          List.iter (it.Ast_iterator.expr it) comps;
+          List.iter (it.Ast_iterator.case it) cases
+      | Parsetree.Pexp_tuple _ ->
+          site "P1" "tuple allocation" line;
+          Ast_iterator.default_iterator.expr it e
+      | Parsetree.Pexp_record _ ->
+          site "P1" "record allocation" line;
+          Ast_iterator.default_iterator.expr it e
+      | Parsetree.Pexp_array els ->
+          if els <> [] then site "P1" "array literal" line;
+          Ast_iterator.default_iterator.expr it e
+      | Parsetree.Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) ->
+          site "P1" "list cons" line;
+          Ast_iterator.default_iterator.expr it e
+      | Parsetree.Pexp_let (_, vbs, _) ->
+          List.iter
+            (fun vb ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var { txt = v; _ }
+                when is_fun vb.Parsetree.pvb_expr ->
+                  if not (List.mem_assoc v !local_lambdas) then
+                    local_lambdas := (v, vb.Parsetree.pvb_expr) :: !local_lambdas
+              | _ -> ())
+            vbs;
+          Ast_iterator.default_iterator.expr it e
+      | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  iter := { Ast_iterator.default_iterator with expr = handle };
+  let iter = !iter in
+  iter.Ast_iterator.expr iter (strip_params body);
+  (* Fold loop-referenced local lambdas into the loop region. *)
+  let visited = ref [] in
+  let rec expand_loop_lambdas () =
+    let pending =
+      List.filter
+        (fun (name, _) ->
+          List.mem name !loop_idents && not (List.mem name !visited))
+        !local_lambdas
+    in
+    if pending <> [] then begin
+      List.iter
+        (fun (name, lam) ->
+          visited := name :: !visited;
+          loop_only := true;
+          in_loop := true;
+          iter.Ast_iterator.expr iter (strip_params lam);
+          loop_only := false;
+          in_loop := false)
+        pending;
+      expand_loop_lambdas ()
+    end
+  in
+  expand_loop_lambdas ();
+  ( List.sort_uniq compare !warm_sites,
+    List.sort_uniq compare !loop_sites,
+    List.sort_uniq compare !warm_calls,
+    List.sort_uniq compare !loop_calls,
+    !has_loop )
 
 (* A let-bound local function that forwards one of its own positional
    parameters as the task of a parallel entry is a sink: calls to it are
@@ -763,6 +1108,12 @@ let scan_body st ~fn_name ~fn_line body =
   in
   it.expr it body;
   let mutations = List.rev !mutations in
+  (* Perf facts only make sense for function bindings: a non-fn toplevel
+     binding runs once at module init, so its allocations are not
+     per-call costs and must not taint the hotness propagation. *)
+  let warm_sites, loop_sites, warm_calls, loop_calls, fn_has_loop =
+    if is_fun body then perf_scan st body else ([], [], [], [], false)
+  in
   {
     fn_name;
     fn_line;
@@ -782,6 +1133,13 @@ let scan_body st ~fn_name ~fn_line body =
     pool_calls = List.rev !pool_calls;
     top_arg_calls = List.rev !top_arg_calls;
     raises = !raises;
+    fn_hot =
+      List.mem fn_line st.st_hots || List.mem (fn_line - 1) st.st_hots;
+    fn_has_loop;
+    warm_sites;
+    loop_sites;
+    warm_calls;
+    loop_calls;
   }
 
 let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
@@ -922,6 +1280,8 @@ let extract ~rel content =
             st_refs = [];
             st_creates = [];
             st_accums = [];
+            st_hots = lx.Mppm_lint.Lexer.hots;
+            st_colds = lx.Mppm_lint.Lexer.colds;
           }
         in
         collect_scaffolding st structure;

@@ -58,6 +58,17 @@ type pool_call = {
 }
 (** One call site handing work to pool domains or a single-flight memo. *)
 
+type perf_site = {
+  ps_rule : string;  (** ["P1"].."P4" *)
+  ps_what : string;  (** human description of the offending shape *)
+  ps_line : int;
+}
+(** One hot-path performance hazard: a heap allocation (P1), polymorphic
+    comparison (P2), hashtable operation (P3) or boxed-float ref
+    accumulation (P4).  Sites are collected per function and only become
+    findings when {!Hotpath} proves the function reachable from a
+    [(* mppm: hot *)] root. *)
+
 type fn = {
   fn_name : string;  (** top-level binding name, or ["(init:<line>)"] *)
   fn_line : int;
@@ -85,6 +96,27 @@ type fn = {
       (** [(callee, ident, line)] calls passing a module-level value as
           the callee's first positional argument *)
   raises : bool;  (** the body applies [raise]/[failwith]/[invalid_arg] *)
+  fn_hot : bool;
+      (** the binding carries a [(* mppm: hot *)] annotation on its line
+          or the line above — a hotness root *)
+  fn_has_loop : bool;
+      (** the warm region contains a [while]/[for] loop; for an annotated
+          root this restricts the hot region to its loops *)
+  warm_sites : perf_site list;
+      (** P1-P4 shapes anywhere in the body outside cold guards
+          (branches conditioned on [Invariant]/[Trace]/[Prof.enabled],
+          [Trace.emit] thunks and [Invariant] applications, and
+          [(* mppm: cold *)]-marked expressions) *)
+  loop_sites : perf_site list;
+      (** the subset of {!warm_sites} inside [while]/[for] loops,
+          including the bodies of local lambdas referenced from a loop *)
+  warm_calls : string list list;
+      (** value paths referenced outside cold guards — the hotness
+          propagation edges of a transitively-hot (or loop-free root)
+          function *)
+  loop_calls : string list list;
+      (** value paths referenced inside loops — the propagation edges of
+          an annotated root whose hot region is its loops *)
 }
 
 type rng_create = {

@@ -20,6 +20,7 @@ type report = {
   cache_hits : int;
   fallbacks : int;
   summaries : (string * string * string) list;
+  hot : Hotpath.entry list;
 }
 
 let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
@@ -143,6 +144,7 @@ let analyze ?cache_file ~dunes inputs =
     Effects.check table
     @ Seedflow.check facts_list
     @ Purity.check table facts_list
+    @ Hotpath.check env facts_list
     @ s3 facts_list
     @ s4 env facts_list
   in
@@ -170,6 +172,7 @@ let analyze ?cache_file ~dunes inputs =
     cache_hits = !hits;
     fallbacks = !fallbacks;
     summaries = Effects.summaries table;
+    hot = Hotpath.analyze env facts_list;
   }
 
 let analyze_tree ?cache_file ~root () =

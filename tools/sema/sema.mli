@@ -7,7 +7,9 @@
     accumulation over unordered [Hashtbl] iteration, S4 dead [.mli]
     exports, and the S6/S7/S8 parallel-determinism rules ({!Purity}:
     pool-task purity, no module-level mutable state in [lib/], declared
-    lock order).  Findings share the token layer's suppression comments:
+    lock order), and the P1-P4 hot-path perf rules ({!Hotpath}:
+    interprocedural hotness from [(* mppm: hot *)] roots).  Findings
+    share the token layer's suppression comments:
     [(* lint: allow S1 *)] on (or above) the line, or
     [(* lint: allow-file S1 *)] anywhere in the file. *)
 
@@ -23,6 +25,8 @@ type report = {
       only lexer-derived facts are available *)
   summaries : (string * string * string) list;
       (** [(file, function, effects)] transitive effect summaries *)
+  hot : Hotpath.entry list;
+      (** ranked hot-function inventory (the [--report hot] payload) *)
 }
 (** The outcome of one analysis run. *)
 
