@@ -58,11 +58,13 @@ let geometry t = t.geometry
 
 (* Toplevel so the per-access search allocates no closure; tags are ints,
    so the comparison is monomorphic. *)
+(* mppm: unit _ -- way position option of a tag probe *)
 let rec scan_set set fill tag i =
   if i >= fill then None
   else if Int.equal set.(i) tag then Some i
   else scan_set set fill tag (i + 1)
 
+(* mppm: unit _ -- way position option of a tag probe *)
 let find_in_set set fill tag = scan_set set fill tag 0
 
 (* Shift a.(0..len-1) down one slot and place [v] at the front.  A manual
@@ -81,6 +83,7 @@ let shift_down_and_front a len v =
 (* The three victim predicates, int-coded so the recency scan below stays
    closure-free on the miss path: 0 = the owner's own line, 1 = a line of
    any over-quota owner, 2 = any other owner's line. *)
+(* mppm: unit _ -- victim predicate *)
 let victim_matches kind counts quotas owner o =
   match kind with
   | 0 -> Int.equal o owner
@@ -89,11 +92,13 @@ let victim_matches kind counts quotas owner o =
 
 (* Deepest (least-recent) position in [owners_row.(0..from)] matching the
    predicate, or -1. *)
+(* mppm: unit ways -- recency depth within a set *)
 let rec deepest_from owners_row counts quotas owner kind from =
   if from < 0 then -1
   else if victim_matches kind counts quotas owner owners_row.(from) then from
   else deepest_from owners_row counts quotas owner kind (from - 1)
 
+(* mppm: unit ways -- victim recency position *)
 let partition_victim owners_row ways quotas owner =
   let n_owners = Array.length quotas in
   (* lint: allow P1 per-victim owner census; partitioned mode only (fig 6) *)

@@ -29,34 +29,34 @@ val create : ?policy:Replacement.t -> ?partition:int array -> Geometry.t -> t
 val geometry : t -> Geometry.t
 (** The geometry this cache was created with. *)
 
-val access : t -> int -> outcome
+val access : t -> int -> outcome  (* mppm: unit outcome *)
 (** [access t addr] looks up the line containing byte address [addr],
     updates replacement state, fills the line on a miss, and updates the
     statistics counters.  Equivalent to [access_as t ~owner:0 addr]. *)
 
-val access_as : t -> owner:int -> int -> outcome
+val access_as : t -> owner:int -> int -> outcome  (* mppm: unit outcome *)
 (** [access_as t ~owner addr] is {!access} on behalf of [owner] (a core
     index); only meaningful for partitioned caches, where the owner selects
     the victim policy described at {!create}.  [owner] must be within the
     partition array when one exists. *)
 
-val owner_lines : t -> owner:int -> int
+val owner_lines : t -> owner:int -> int  (* mppm: unit sets*ways *)
 (** Number of currently valid lines inserted by [owner] (0 for
     unpartitioned caches unless owner is 0). *)
 
 val probe : t -> int -> bool
 (** [probe t addr] is [true] iff the line is present; no state change. *)
 
-val accesses : t -> int
+val accesses : t -> int  (* mppm: unit accesses *)
 (** Total lookups since creation or the last {!reset_stats}. *)
 
-val hits : t -> int
+val hits : t -> int  (* mppm: unit accesses *)
 (** Hits among {!accesses}. *)
 
-val misses : t -> int
+val misses : t -> int  (* mppm: unit accesses *)
 (** Misses among {!accesses}. *)
 
-val miss_rate : t -> float
+val miss_rate : t -> float  (* mppm: unit 1 *)
 (** Misses over accesses; 0 if no accesses. *)
 
 val reset_stats : t -> unit
@@ -65,7 +65,7 @@ val reset_stats : t -> unit
 val clear : t -> unit
 (** Invalidates every line and clears statistics. *)
 
-val resident_lines : t -> int
+val resident_lines : t -> int  (* mppm: unit sets*ways *)
 (** Number of currently valid lines (for occupancy assertions). *)
 
 val counters : t -> (string * float) list

@@ -18,7 +18,7 @@ val l1d : Hierarchy.level
 val l2 : Hierarchy.level
 (** 256KB 8-way private L2, 10 cycles (Table 1). *)
 
-val memory_latency : int
+val memory_latency : int  (* mppm: unit cycles *)
 (** Main-memory access latency in cycles (200, Table 1). *)
 
 val llc_config : int -> Hierarchy.level

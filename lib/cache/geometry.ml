@@ -26,6 +26,7 @@ let make ~size_bytes ~line_bytes ~associativity =
   let num_sets = total_lines / associativity in
   if not (is_power_of_two num_sets) then
     invalid_arg "Geometry.make: derived set count must be a power of two";
+  (* lint: allow U1 the set count is carved out of untyped byte arithmetic (capacity / line / ways); sets is a base dimension born at this constructor *)
   {
     size_bytes;
     line_bytes;

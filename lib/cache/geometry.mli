@@ -5,8 +5,8 @@
 type t = private {
   size_bytes : int;  (** total capacity in bytes; power of two *)
   line_bytes : int;  (** line size in bytes; power of two *)
-  associativity : int;  (** ways per set; must divide the line count *)
-  num_sets : int;  (** derived: [size_bytes / line_bytes / associativity] *)
+  associativity : int;  (** ways per set; must divide the line count *)  (* mppm: unit ways *)
+  num_sets : int;  (** derived: [size_bytes / line_bytes / associativity] *)  (* mppm: unit sets *)
   set_shift : int;  (** derived: log2 [line_bytes] *)
   set_mask : int;  (** derived: [num_sets - 1] *)
 }
@@ -16,16 +16,16 @@ val make : size_bytes:int -> line_bytes:int -> associativity:int -> t
     (powers of two, associativity divides the line count) and derives the
     indexing fields.  Raises [Invalid_argument] on malformed geometry. *)
 
-val kib : int -> int
+val kib : int -> int  (* mppm: unit _ -> bytes *)
 (** [kib n] is [n] kibibytes in bytes. *)
 
-val mib : int -> int
+val mib : int -> int  (* mppm: unit _ -> bytes *)
 (** [mib n] is [n] mebibytes in bytes. *)
 
-val set_index : t -> int -> int
+val set_index : t -> int -> int  (* mppm: unit sets *)
 (** [set_index t addr] is the set the byte address [addr] maps to. *)
 
-val tag : t -> int -> int
+val tag : t -> int -> int  (* mppm: unit _ -- line tag from untyped address bits *)
 (** [tag t addr] is the tag stored for [addr] (line address; distinct lines
     mapping to the same set have distinct tags). *)
 
@@ -33,7 +33,7 @@ val line_address : t -> int -> int
 (** [line_address t addr] is [addr] with the intra-line offset cleared,
     identifying the cache line. *)
 
-val lines : t -> int
+val lines : t -> int  (* mppm: unit sets*ways *)
 (** Total number of lines ([num_sets * associativity]). *)
 
 val pp : Format.formatter -> t -> unit

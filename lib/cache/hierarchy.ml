@@ -53,6 +53,7 @@ let create ?llc ?(llc_owner = 0) ?(perfect_llc = false) config =
 let config t = t.config
 let llc t = t.llc_cache
 
+(* mppm: unit result *)
 let access t ~kind ~addr =
   (* Two small matches instead of one returning a pair: the L1 split must
      not allocate on the per-access path. *)

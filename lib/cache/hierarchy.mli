@@ -7,7 +7,10 @@
     detailed multi-core simulator one LLC {!Cache.t} is created and every
     core's hierarchy is built around it with [~llc]. *)
 
-type level = { geometry : Geometry.t; latency : int }
+type level = {
+  geometry : Geometry.t;
+  latency : int;  (* mppm: unit cycles *)
+}
 (** One cache level: geometry plus access latency in cycles. *)
 
 type config = {
@@ -15,7 +18,7 @@ type config = {
   l1d : level;
   l2 : level;
   llc : level;
-  memory_latency : int;
+  memory_latency : int;  (* mppm: unit cycles *)
 }
 (** Full hierarchy parameters. *)
 
@@ -26,7 +29,7 @@ type access_kind = Fetch | Load | Store
 (** Instruction fetch vs. data read vs. data write. *)
 
 type result = {
-  latency : int;  (** cycles to satisfy the access *)
+  latency : int;  (** cycles to satisfy the access *)  (* mppm: unit cycles *)
   hit_level : hit_level;
   llc_outcome : Cache.outcome option;
       (** outcome at the LLC if the access reached it (i.e. missed L2);
@@ -55,10 +58,10 @@ val access : t -> kind:access_kind -> addr:int -> result
 (** Simulates the access through L1 (instruction or data side per [kind]),
     then L2, then LLC, then memory. *)
 
-val llc_accesses : t -> int
+val llc_accesses : t -> int  (* mppm: unit accesses *)
 (** LLC lookups issued by this core's hierarchy. *)
 
-val llc_misses : t -> int
+val llc_misses : t -> int  (* mppm: unit accesses *)
 (** LLC misses suffered by this core's hierarchy (0 under [perfect_llc]). *)
 
 val counters : t -> (string * float) list

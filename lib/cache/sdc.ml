@@ -90,6 +90,7 @@ let reduce_associativity t ~assoc:new_assoc =
 (* misses(k) for integer k ways = sum of counters deeper than k.  A
    toplevel tail recursion with an unboxed accumulator: no closure, no
    float ref on the per-quantum projection path. *)
+(* mppm: unit _ -> ways -> ways -> accesses -> accesses *)
 let rec sum_deeper counters last i acc =
   if i > last then acc else sum_deeper counters last (i + 1) (acc +. counters.(i))
 
@@ -102,7 +103,23 @@ let misses_with_ways t ~ways =
     let frac = ways -. float_of_int k in
     let lo = sum_deeper t.counters t.assoc k 0.0
     and hi = sum_deeper t.counters t.assoc (k + 1) 0.0 in
+    (* lint: allow U1 the interpolation weight [ways -. floor ways] is a dimensionless fraction of one way *)
     lo +. (frac *. (hi -. lo))
+
+(* Prefix sums over an interval sequence's access masses: groundwork for
+   the O(1) window queries of the flat-profile rewrite (ROADMAP item 2).
+   Element 0 is 0 and element i the running total after interval i, so a
+   window's mass is one subtraction of two cumulative readings. *)
+let prefix_counts sdcs =
+  let n = List.length sdcs in
+  let prefix = Array.make (n + 1) 0.0 in
+  List.iteri (fun i sdc -> prefix.(i + 1) <- prefix.(i) +. accesses sdc) sdcs;
+  prefix
+
+let window_accesses prefix ~first ~last =
+  if first < 0 || last < first || last >= Array.length prefix then
+    invalid_arg "Sdc.window_accesses: window out of range";
+  prefix.(last) -. prefix.(first)
 
 let to_list t = Array.to_list t.counters
 

@@ -9,37 +9,37 @@
 type t
 (** An SDC histogram; immutable size (associativity), mutable counters. *)
 
-val create : assoc:int -> t
+val create : assoc:int -> t  (* mppm: unit assoc:ways -> sdc *)
 (** [create ~assoc] is an all-zero SDC for an [assoc]-way cache. *)
 
-val assoc : t -> int
+val assoc : t -> int  (* mppm: unit ways *)
 (** The associativity [A] this SDC was created for. *)
 
-val record : t -> depth:int -> unit
+val record : t -> depth:int -> unit  (* mppm: unit _ -> depth:ways -> _ *)
 (** [record t ~depth] increments the counter for an access that hit at
     1-based LRU depth [depth]; [depth > assoc t] (e.g. [max_int]) records a
     miss. *)
 
-val counter : t -> int -> float
+val counter : t -> int -> float  (* mppm: unit _ -> ways -> accesses *)
 (** [counter t i] is C_i for [1 <= i <= assoc], and C_{>A} for
     [i = assoc + 1]. *)
 
-val accesses : t -> float
+val accesses : t -> float  (* mppm: unit accesses *)
 (** Total accesses: sum of all counters. *)
 
-val hits : t -> float
+val hits : t -> float  (* mppm: unit accesses *)
 (** Accesses with depth <= associativity. *)
 
-val misses : t -> float
+val misses : t -> float  (* mppm: unit accesses *)
 (** The C_{>A} counter. *)
 
-val miss_rate : t -> float
+val miss_rate : t -> float  (* mppm: unit 1 *)
 (** [misses / accesses]; 0 if there are no accesses. *)
 
-val copy : t -> t
+val copy : t -> t  (* mppm: unit _ -> sdc *)
 (** An independent SDC with the same counter values. *)
 
-val add : t -> t -> t
+val add : t -> t -> t  (* mppm: unit _ -> _ -> sdc *)
 (** [add a b] is the element-wise sum; both must have equal associativity.
     Summing per-interval SDCs is how MPPM builds the SDC for an arbitrary
     instruction window (paper Sec. 2.2). *)
@@ -47,11 +47,11 @@ val add : t -> t -> t
 val add_into : dst:t -> t -> unit
 (** In-place accumulate. *)
 
-val scale : t -> float -> t
+val scale : t -> float -> t  (* mppm: unit _ -> 1 -> sdc *)
 (** [scale t k] multiplies every counter by [k]; used to take a fractional
     part of an interval's SDC when an instruction window cuts an interval. *)
 
-val reduce_associativity : t -> assoc:int -> t
+val reduce_associativity : t -> assoc:int -> t  (* mppm: unit _ -> assoc:ways -> sdc *)
 (** [reduce_associativity t ~assoc] derives the SDC the same access stream
     would produce on a cache of lower associativity with the same set count:
     counters beyond the new depth fold into the miss counter (inclusion
@@ -59,11 +59,27 @@ val reduce_associativity : t -> assoc:int -> t
     once at 16 ways serves 8-way studies for free.  Requires
     [assoc <= assoc t]. *)
 
-val misses_with_ways : t -> ways:float -> float
+val misses_with_ways : t -> ways:float -> float  (* mppm: unit _ -> ways:ways -> accesses *)
 (** [misses_with_ways t ~ways] is the miss count if the program only owned
     [ways] ways of each set, interpolated linearly between integer depths.
     [ways >= assoc t] gives [misses t]; [ways = 0.] means every access
     misses.  This is the FOA contention model's core query. *)
+
+val prefix_counts : t list -> float array  (* mppm: unit _ -> cumulative accesses *)
+(** [prefix_counts sdcs] is the running access mass over an interval
+    sequence's SDCs: element [0] is [0.] and element [i] the total
+    accesses of the first [i] intervals.  A window's mass is then one
+    subtraction of two cumulative readings ({!window_accesses}) —
+    groundwork for the O(1) window queries of the flat-profile rewrite
+    (ROADMAP item 2). *)
+
+val window_accesses :  (* mppm: unit cumulative accesses -> first:intervals -> last:intervals -> accesses *)
+  float array -> first:int -> last:int -> float
+(** [window_accesses prefix ~first ~last] is the access mass of intervals
+    [first], ..., [last - 1]: [prefix.(last) -. prefix.(first)].
+    Subtracting the two cumulative readings discharges to a per-window
+    quantity.  Raises [Invalid_argument] unless
+    [0 <= first <= last < length prefix]. *)
 
 val to_list : t -> float list
 (** Counters in order C_1, ..., C_A, C_{>A}. *)

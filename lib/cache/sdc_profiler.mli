@@ -8,26 +8,26 @@
 type t
 (** A profiler: a private cache image plus the interval in progress. *)
 
-val create : Geometry.t -> t
+val create : Geometry.t -> t  (* mppm: unit _ -> profiler *)
 (** [create geometry] profiles a cache of the given geometry (always LRU:
     stack distances are defined against the LRU stack). *)
 
-val access : t -> int -> Cache.outcome
+val access : t -> int -> Cache.outcome  (* mppm: unit _ -> _ -> outcome *)
 (** [access t addr] simulates the access, records its depth in the current
     interval, and reports the outcome. *)
 
-val record_outcome : t -> Cache.outcome -> unit
+val record_outcome : t -> Cache.outcome -> unit  (* mppm: unit _ -> _ -> _ *)
 (** [record_outcome t outcome] histograms an outcome observed on an
     *external* cache of the same geometry, without touching the internal
     image.  Used when the profiled cache is simulated elsewhere. *)
 
-val cut_interval : t -> Sdc.t
+val cut_interval : t -> Sdc.t  (* mppm: unit sdc *)
 (** [cut_interval t] returns the SDC accumulated since the previous cut
     (or creation) and starts a fresh interval. *)
 
-val current : t -> Sdc.t
+val current : t -> Sdc.t  (* mppm: unit sdc *)
 (** The (live) SDC of the interval in progress.  The returned value aliases
     internal state; copy it if you need a snapshot. *)
 
-val lifetime_total : t -> Sdc.t
+val lifetime_total : t -> Sdc.t  (* mppm: unit sdc *)
 (** Sum over all completed intervals plus the current one. *)

@@ -17,6 +17,7 @@ type prediction = {
   effective_ways : float array;
 }
 
+(* mppm: unit ways *)
 let check_inputs sdcs =
   let n = Array.length sdcs in
   if Int.equal n 0 then invalid_arg "Contention.predict: no programs";
@@ -27,6 +28,7 @@ let check_inputs sdcs =
   done;
   assoc
 
+(* mppm: unit prediction *)
 let finish sdcs shared effective_ways =
   let isolated = Array.map Sdc.misses sdcs in
   {
@@ -37,12 +39,14 @@ let finish sdcs shared effective_ways =
     effective_ways;
   }
 
+(* mppm: unit prediction *)
 let no_contention sdcs assoc =
   let n = Array.length sdcs in
   finish sdcs (Array.map Sdc.misses sdcs)
     (Array.make n (float_of_int assoc))
 
 (* FOA: effective ways proportional to access frequency. *)
+(* mppm: unit prediction *)
 let predict_foa sdcs assoc =
   let accesses = Array.map Sdc.accesses sdcs in
   let total = Array.fold_left ( +. ) 0.0 accesses in
@@ -60,6 +64,7 @@ let predict_foa sdcs assoc =
    to the program whose next (deeper) stack-distance counter is largest —
    i.e. the program that would convert the most hits by owning one more
    way. *)
+(* mppm: unit prediction *)
 let predict_sdc_competition sdcs assoc =
   let n = Array.length sdcs in
   let owned = Array.make n 0 in
@@ -89,6 +94,7 @@ let predict_sdc_competition sdcs assoc =
    An access survives iff its dilated distance fits in A, i.e. its original
    distance fits in A / (1 + r).  Misses feed back into the dilation, so we
    iterate to a fixed point. *)
+(* mppm: unit prediction *)
 let predict_prob ~iterations sdcs assoc =
   let n = Array.length sdcs in
   let accesses = Array.map Sdc.accesses sdcs in
@@ -110,6 +116,7 @@ let predict_prob ~iterations sdcs assoc =
 (* Way partitioning decouples the programs entirely: each one owns its
    quota regardless of how the others behave, so its shared misses are its
    isolated SDC evaluated at the quota. *)
+(* mppm: unit prediction *)
 let predict_way_partition quotas sdcs assoc =
   if Array.length quotas < Array.length sdcs then
     invalid_arg "Contention.predict: partition smaller than the mix";

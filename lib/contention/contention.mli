@@ -32,16 +32,16 @@ val default : model
 (** {!Foa}, as in the paper. *)
 
 type prediction = {
-  isolated_misses : float array;  (** each program's own-SDC misses *)
-  shared_misses : float array;  (** predicted misses under sharing *)
-  extra_misses : float array;
+  isolated_misses : float array;  (** each program's own-SDC misses *)  (* mppm: unit accesses *)
+  shared_misses : float array;  (** predicted misses under sharing *)  (* mppm: unit accesses *)
+  extra_misses : float array;  (* mppm: unit accesses *)
       (** [max 0 (shared - isolated)]: the conflict misses MPPM charges *)
-  effective_ways : float array;
+  effective_ways : float array;  (* mppm: unit ways *)
       (** the per-program cache share the model settled on (ways); for
           {!Prob} this is the undilated-equivalent ways *)
 }
 
-val predict : model -> Mppm_cache.Sdc.t array -> prediction
+val predict : model -> Mppm_cache.Sdc.t array -> prediction  (* mppm: unit _ -> _ -> prediction *)
 (** [predict model sdcs] runs the model over the co-scheduled programs'
     epoch SDCs.  All SDCs must share the same associativity.  A single
     program, or an epoch with no accesses, yields zero extra misses. *)

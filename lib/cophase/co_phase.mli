@@ -15,13 +15,13 @@
 type config = {
   hierarchy : Mppm_cache.Hierarchy.config;
   core : Mppm_simcore.Core_model.params;
-  window_instructions : int;
+  window_instructions : int;  (* mppm: unit insns *)
       (** instructions (per program) of the detailed window used to measure
           one co-phase's rates; measurement runs 2x this and keeps the warm
           second half, so cold caches do not bias the rates *)
 }
 
-val config :
+val config :  (* mppm: unit config *)
   ?core:Mppm_simcore.Core_model.params ->
   ?window_instructions:int ->
   Mppm_cache.Hierarchy.config ->
@@ -30,19 +30,19 @@ val config :
 
 type program_spec = {
   benchmark : Mppm_trace.Benchmark.t;
-  seed : int;
-  offset : int;
+  seed : int;  (* mppm: unit 1 *)
+  offset : int;  (* mppm: unit bytes *)
 }
 (** One co-scheduled program: its benchmark, workload seed and starting
     instruction offset. *)
 
 type result = {
-  cpi_multi : float array;
+  cpi_multi : float array;  (* mppm: unit cycles/insns *)
       (** predicted multi-core CPI over each program's first
           [trace_instructions] instructions *)
-  cycles : float array;  (** predicted completion cycle per program *)
+  cycles : float array;  (** predicted completion cycle per program *)  (* mppm: unit cycles *)
   co_phases_measured : int;  (** distinct matrix entries filled *)
-  detailed_instructions : int;
+  detailed_instructions : int;  (* mppm: unit insns *)
       (** total instructions of detailed simulation spent building the
           matrix — the method's cost *)
 }
@@ -54,7 +54,7 @@ val create : config -> programs:program_spec array -> t
 (** An empty matrix for the given mix; entries fill on demand during
     {!predict}. *)
 
-val predict : t -> trace_instructions:int -> result
+val predict : t -> trace_instructions:int -> result  (* mppm: unit _ -> trace_instructions:insns -> result *)
 (** [predict t ~trace_instructions] walks the phase schedules, measuring
     co-phases on demand, and reconstructs per-program completion times.
     Matrix entries persist across calls (more traces reuse the matrix). *)

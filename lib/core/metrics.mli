@@ -9,18 +9,21 @@
     - average normalized turnaround time, a lower-is-better user-perspective
       metric: ANTT = (1/n) sum_p CPI_MC,p / CPI_SC,p. *)
 
+(* mppm: unit cpi_single:cycles/insns -> cpi_multi:cycles/insns -> 1 *)
 val stp : cpi_single:float array -> cpi_multi:float array -> float
 (** System throughput (weighted speedup).  Arrays must be non-empty, equal
     length, strictly positive. *)
 
+(* mppm: unit cpi_single:cycles/insns -> cpi_multi:cycles/insns -> 1 *)
 val antt : cpi_single:float array -> cpi_multi:float array -> float
 (** Average normalized turnaround time. *)
 
+(* mppm: unit cpi_single:cycles/insns -> cpi_multi:cycles/insns -> 1 *)
 val slowdowns : cpi_single:float array -> cpi_multi:float array -> float array
 (** Per-program slowdown [CPI_MC,p / CPI_SC,p] (ANTT is its mean). *)
 
-val stp_of_slowdowns : float array -> float
+val stp_of_slowdowns : float array -> float  (* mppm: unit 1 -> 1 *)
 (** STP from per-program slowdowns: [sum_p 1 / slowdown_p]. *)
 
-val antt_of_slowdowns : float array -> float
+val antt_of_slowdowns : float array -> float  (* mppm: unit 1 -> 1 *)
 (** ANTT from per-program slowdowns: their arithmetic mean. *)

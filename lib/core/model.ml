@@ -83,6 +83,7 @@ let validate params inputs =
 (* Average LLC miss penalty over a window: cycles lost to LLC misses per
    miss.  Falls back to the whole-trace average when the window has no
    misses (the division in Fig. 2 needs a denominator). *)
+(* mppm: unit _ -> _ -> cycles/accesses *)
 let miss_penalty profile (w : Profile.window) =
   if w.Profile.w_llc_misses > 0.0 then
     w.Profile.w_memory_stall_cycles /. w.Profile.w_llc_misses
@@ -99,6 +100,7 @@ let miss_penalty profile (w : Profile.window) =
       /. total_misses
     else 0.0
 
+(* mppm: unit result *)
 (* mppm: hot — the per-quantum convergence loop, ROADMAP item 2 *)
 let run ?(obs = Trace.null) params inputs ~record =
   validate params inputs;

@@ -38,22 +38,23 @@ type update_rule =
     program already suffers alone (its profile carries self-queueing when
     collected with a channel). *)
 type bandwidth = {
-  transfer_cycles : float;  (** channel occupancy per line transfer *)
-  exposed_fraction : float;
+  transfer_cycles : float;  (** channel occupancy per line transfer *)  (* mppm: unit cycles *)
+  exposed_fraction : float;  (* mppm: unit 1 *)
       (** fraction of queueing delay that ends up as visible stall (out-of-
           order overlap hides the rest); match the simulator's memory
           exposure / typical MLP *)
 }
 
 type params = {
-  iteration_instructions : int;  (** L; the paper uses trace/5 = 200M *)
-  smoothing : float;  (** f of the EMA; in [0, 1), higher = smoother *)
-  stop_trace_multiplier : float;  (** stop criterion; the paper uses 5. *)
+  iteration_instructions : int;  (** L; the paper uses trace/5 = 200M *)  (* mppm: unit insns *)
+  smoothing : float;  (** f of the EMA; in [0, 1), higher = smoother *)  (* mppm: unit 1 *)
+  stop_trace_multiplier : float;  (** stop criterion; the paper uses 5. *)  (* mppm: unit 1 *)
   contention : Mppm_contention.Contention.model;
   update_rule : update_rule;
   bandwidth : bandwidth option;  (** [None] = unlimited (the paper) *)
 }
 
+(* mppm: unit trace_instructions:insns -> params *)
 val default_params : trace_instructions:int -> params
 (** Paper-faithful scaling: L = trace/5, stop after 5 traces, FOA
     contention, [Consistent] update, smoothing 0.5. *)
@@ -65,21 +66,22 @@ type program_input = {
 
 type program_output = {
   name : string;
-  slowdown : float;  (** final R_p *)
-  cpi_single : float;  (** whole-trace isolated CPI from the profile *)
-  cpi_multi : float;  (** CPI_SC,p * R_p: the model's prediction *)
-  instructions_modelled : float;  (** final I_p *)
+  slowdown : float;  (** final R_p *)  (* mppm: unit 1 *)
+  cpi_single : float;  (** whole-trace isolated CPI from the profile *)  (* mppm: unit cycles/insns *)
+  cpi_multi : float;  (** CPI_SC,p * R_p: the model's prediction *)  (* mppm: unit cycles/insns *)
+  instructions_modelled : float;  (** final I_p *)  (* mppm: unit insns *)
 }
 
 type result = {
   programs : program_output array;
-  stp : float;
-  antt : float;
+  stp : float;  (* mppm: unit 1 *)
+  antt : float;  (* mppm: unit 1 *)
   iterations : int;
 }
 (** A full prediction: per-program outputs plus the mix's system
     throughput, average normalized turnaround time and iteration count. *)
 
+(* mppm: unit result *)
 val predict : ?obs:Mppm_obs.Trace.t -> params -> program_input array -> result
 (** [predict params programs] runs the iterative model.  All profiles must
     have been collected at the same LLC associativity.  Raises
@@ -94,19 +96,20 @@ val predict : ?obs:Mppm_obs.Trace.t -> params -> program_input array -> result
     cumulative epoch cycles — and tracing never changes the prediction:
     results are bit-for-bit identical with and without a sink. *)
 
-val predict_profiles :
+val predict_profiles :  (* mppm: unit result *)
   ?obs:Mppm_obs.Trace.t -> params -> Mppm_profile.Profile.t array -> result
 (** Convenience wrapper labelling each program by its profile's benchmark
     name. *)
 
 (** Per-iteration trace for inspection, tests and convergence studies. *)
 type iteration_record = {
-  epoch_cycles : float;  (** C *)
-  progress : float array;  (** N_p *)
-  extra_misses : float array;
-  slowdown_estimate : float array;  (** R_p after the EMA update *)
+  epoch_cycles : float;  (** C *)  (* mppm: unit cycles *)
+  progress : float array;  (** N_p *)  (* mppm: unit insns *)
+  extra_misses : float array;  (* mppm: unit accesses *)
+  slowdown_estimate : float array;  (** R_p after the EMA update *)  (* mppm: unit 1 *)
 }
 
+(* mppm: unit result *)
 val predict_with_history :
   ?obs:Mppm_obs.Trace.t ->
   params ->

@@ -21,15 +21,15 @@
 
 type params = {
   contention : Mppm_contention.Contention.model;
-  max_iterations : int;  (** fixed-point cap (default 100) *)
-  tolerance : float;  (** max |R - R'| for convergence (default 1e-6) *)
-  damping : float;  (** update damping in [0, 1); 0 = undamped *)
+  max_iterations : int;  (** fixed-point cap (default 100) *)  (* mppm: unit 1 *)
+  tolerance : float;  (** max |R - R'| for convergence (default 1e-6) *)  (* mppm: unit 1 *)
+  damping : float;  (** update damping in [0, 1); 0 = undamped *)  (* mppm: unit 1 *)
 }
 
-val default_params : params
+val default_params : params  (* mppm: unit params *)
 (** FOA contention, 100 iterations max, tolerance 1e-6, no damping. *)
 
-val predict : params -> Mppm_profile.Profile.t array -> Model.result
+val predict : params -> Mppm_profile.Profile.t array -> Model.result  (* mppm: unit result *)
 (** [predict params profiles] returns the same result shape as
     {!Model.predict_profiles}; [iterations] reports the fixed-point
     iteration count. *)

@@ -13,9 +13,9 @@ type run = {
   cores : int;
   llc_config : int;
   evals : mix_eval array;
-  stp_error : float;  (** mean relative |predicted - measured| / measured *)
-  antt_error : float;
-  slowdown_error : float;  (** over all programs of all mixes *)
+  stp_error : float;  (** mean relative |predicted - measured| / measured *)  (* mppm: unit 1 *)
+  antt_error : float;  (* mppm: unit 1 *)
+  slowdown_error : float;  (** over all programs of all mixes *)  (* mppm: unit 1 *)
 }
 
 val evaluate :
@@ -52,9 +52,9 @@ val worst_stp_eval : run -> mix_eval
     multi-core CPI. *)
 type cpi_row = {
   program : string;
-  isolated_cpi : float;
-  measured_cpi : float;
-  predicted_cpi : float;
+  isolated_cpi : float;  (* mppm: unit cycles/insns *)
+  measured_cpi : float;  (* mppm: unit cycles/insns *)
+  predicted_cpi : float;  (* mppm: unit cycles/insns *)
 }
 
 val cpi_rows : mix_eval -> cpi_row array

@@ -23,7 +23,7 @@ val create :
 val scale : t -> Scale.t
 (** The scale this context was created with. *)
 
-val seed : t -> int
+val seed : t -> int  (* mppm: unit 1 *)
 (** The master seed (default 42) all sampling derives from. *)
 
 val rng : t -> string -> Mppm_util.Rng.t
@@ -84,16 +84,16 @@ val all_profiles :
     parallel (results are positional, so the array is identical to the
     sequential one). *)
 
-val cpi_single : t -> llc_config:int -> Mppm_workload.Mix.t -> float array
+val cpi_single : t -> llc_config:int -> Mppm_workload.Mix.t -> float array  (* mppm: unit cycles/insns *)
 (** Isolated whole-trace CPI of each program of the mix. *)
 
 (** The measured (detailed-simulation) view of one mix. *)
 type measured = {
-  m_cpi_single : float array;
-  m_cpi_multi : float array;
-  m_slowdowns : float array;
-  m_stp : float;
-  m_antt : float;
+  m_cpi_single : float array;  (* mppm: unit cycles/insns *)
+  m_cpi_multi : float array;  (* mppm: unit cycles/insns *)
+  m_slowdowns : float array;  (* mppm: unit 1 *)
+  m_stp : float;  (* mppm: unit 1 *)
+  m_antt : float;  (* mppm: unit 1 *)
   m_detail : Mppm_multicore.Multi_core.result;
 }
 

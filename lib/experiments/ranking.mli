@@ -39,19 +39,19 @@ type set_eval = { stp_rho : float; antt_rho : float }
     the reference when they disagree (fractions of sets). *)
 type pair_outcome = {
   other_config : int;
-  agree_both_right : float;
-  agree_both_wrong : float;
-  disagree_mppm_right : float;
-  disagree_practice_right : float;
+  agree_both_right : float;  (* mppm: unit 1 *)
+  agree_both_wrong : float;  (* mppm: unit 1 *)
+  disagree_mppm_right : float;  (* mppm: unit 1 *)
+  disagree_practice_right : float;  (* mppm: unit 1 *)
 }
 
 type t = {
   options : options;
   config_ids : int array;
-  reference_mean_stp : float array;  (** per config, detailed simulation *)
-  reference_mean_antt : float array;
-  mppm_mean_stp : float array;  (** per config, MPPM population *)
-  mppm_mean_antt : float array;
+  reference_mean_stp : float array;  (** per config, detailed simulation *)  (* mppm: unit 1 *)
+  reference_mean_antt : float array;  (* mppm: unit 1 *)
+  mppm_mean_stp : float array;  (** per config, MPPM population *)  (* mppm: unit 1 *)
+  mppm_mean_antt : float array;  (* mppm: unit 1 *)
   random_sets : set_eval array;  (** Fig. 7(a) bars *)
   category_sets : set_eval array;  (** Fig. 7(b) bars *)
   mppm_eval : set_eval;  (** the MPPM bar *)

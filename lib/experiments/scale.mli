@@ -8,23 +8,23 @@
     benchmarks are calibrated against them. *)
 
 type t = {
-  trace_instructions : int;
-  interval_instructions : int;  (** trace / 50, as in the paper *)
+  trace_instructions : int;  (* mppm: unit insns *)
+  interval_instructions : int;  (** trace / 50, as in the paper *)  (* mppm: unit insns *)
 }
 
-val of_trace : int -> t
+val of_trace : int -> t  (* mppm: unit insns -> scale *)
 (** [of_trace n] rounds [n] up to a multiple of 50 and derives the interval
     length (trace/50). *)
 
-val default : t
+val default : t  (* mppm: unit scale *)
 (** 2M-instruction traces (1:500 of the paper): detailed simulation of a
     quad-core mix takes a couple of seconds, so population experiments
     finish in minutes. *)
 
-val quick : t
+val quick : t  (* mppm: unit scale *)
 (** 1M-instruction traces for smoke runs. *)
 
-val large : t
+val large : t  (* mppm: unit scale *)
 (** 10M-instruction traces (1:100 of the paper) for overnight-quality
     numbers. *)
 

@@ -7,11 +7,11 @@
     the reproducible quantity. *)
 
 type t = {
-  profile_seconds : float;  (** wall seconds per single-core profiling run *)
-  one_time_cost_seconds : float;  (** profiling the whole 29-benchmark suite *)
+  profile_seconds : float;  (** wall seconds per single-core profiling run *)  (* mppm: unit seconds *)
+  one_time_cost_seconds : float;  (** profiling the whole 29-benchmark suite *)  (* mppm: unit seconds *)
   detailed_seconds_per_mix : (int * float) list;
       (** (cores, wall seconds) per detailed multi-core simulation *)
-  mppm_seconds_per_mix : float;
+  mppm_seconds_per_mix : float;  (* mppm: unit seconds *)
   speedup_model_only : (int * float) list;
       (** (cores, detailed/MPPM) once profiles exist *)
   speedup_study_150 : (int * float) list;

@@ -14,17 +14,17 @@
 type config = {
   hierarchy : Mppm_cache.Hierarchy.config;
   core : Mppm_simcore.Core_model.params;
-  llc_partition : int array option;
+  llc_partition : int array option;  (* mppm: unit ways *)
       (** way quotas per core for a way-partitioned shared LLC; length must
           cover the mix size.  [None] = fully shared LRU (the paper's
           machine). *)
-  bandwidth : float option;
+  bandwidth : float option;  (* mppm: unit cycles *)
       (** memory-channel occupancy (cycles per line transfer) of one
           channel shared by all cores; [None] = unlimited bandwidth (the
           paper's machine) *)
 }
 
-val config :
+val config :  (* mppm: unit config *)
   ?core:Mppm_simcore.Core_model.params ->
   ?llc_partition:int array ->
   ?bandwidth:float ->
@@ -35,28 +35,28 @@ val config :
 
 type program_spec = {
   benchmark : Mppm_trace.Benchmark.t;
-  seed : int;  (** generator seed; use the profiling seed to match traces *)
-  offset : int;  (** address-space displacement for this program instance *)
+  seed : int;  (** generator seed; use the profiling seed to match traces *)  (* mppm: unit 1 *)
+  offset : int;  (** address-space displacement for this program instance *)  (* mppm: unit bytes *)
 }
 
 type program_result = {
   name : string;
-  instructions : int;  (** first-pass length *)
-  cycles : float;  (** cycle at which the first pass completed *)
-  multicore_cpi : float;  (** [cycles / instructions] *)
-  llc_accesses : int;  (** during the first pass *)
-  llc_misses : int;  (** during the first pass *)
-  total_retired : int;  (** including re-iterations, at simulation end *)
+  instructions : int;  (** first-pass length *)  (* mppm: unit insns *)
+  cycles : float;  (** cycle at which the first pass completed *)  (* mppm: unit cycles *)
+  multicore_cpi : float;  (** [cycles / instructions] *)  (* mppm: unit cycles/insns *)
+  llc_accesses : int;  (** during the first pass *)  (* mppm: unit accesses *)
+  llc_misses : int;  (** during the first pass *)  (* mppm: unit accesses *)
+  total_retired : int;  (** including re-iterations, at simulation end *)  (* mppm: unit insns *)
 }
 
 type result = {
   programs : program_result array;
-  wall_cycles : float;  (** cycle at which the last first-pass completed *)
-  llc_total_accesses : int;
-  llc_total_misses : int;
+  wall_cycles : float;  (** cycle at which the last first-pass completed *)  (* mppm: unit cycles *)
+  llc_total_accesses : int;  (* mppm: unit accesses *)
+  llc_total_misses : int;  (* mppm: unit accesses *)
 }
 
-val run :
+val run :  (* mppm: unit result *)
   ?compute_scales:float array ->
   config ->
   programs:program_spec array ->
@@ -68,7 +68,7 @@ val run :
     [i]'s non-memory cycle costs are multiplied by [compute_scales.(i)]
     (1.0 = the baseline "big" core; see {!Mppm_simcore.Core_engine}). *)
 
-val default_offsets : ?seed:int -> int -> int array
+val default_offsets : ?seed:int -> int -> int array  (* mppm: unit seed:1 -> programs -> bytes *)
 (** [default_offsets ~seed n] is [n] address-space offsets that (a) are
     far enough apart that program instances never share lines, and (b)
     carry a per-instance page-granular randomization so co-running copies

@@ -10,23 +10,23 @@
     trace (Sec. 2.2). *)
 
 type interval = {
-  instructions : int;
-  cycles : float;
-  memory_stall_cycles : float;
+  instructions : int;  (* mppm: unit insns *)
+  cycles : float;  (* mppm: unit cycles *)
+  memory_stall_cycles : float;  (* mppm: unit cycles *)
       (** cycles this interval would have saved with a perfect LLC *)
-  llc_accesses : float;
-  llc_misses : float;
+  llc_accesses : float;  (* mppm: unit accesses *)
+  llc_misses : float;  (* mppm: unit accesses *)
   sdc : Mppm_cache.Sdc.t;  (** LLC stack-distance counters *)
 }
 
 type t = {
   benchmark : string;
-  interval_instructions : int;  (** nominal interval length *)
+  interval_instructions : int;  (** nominal interval length *)  (* mppm: unit insns *)
   llc_assoc : int;  (** associativity the SDCs were collected at *)
   intervals : interval array;
 }
 
-val make :
+val make :  (* mppm: unit profile *)
   benchmark:string ->
   interval_instructions:int ->
   llc_assoc:int ->
@@ -35,49 +35,51 @@ val make :
 (** Validates interval shapes (positive instruction counts, SDC
     associativity agreement) and builds the profile. *)
 
-val total_instructions : t -> int
+val total_instructions : t -> int  (* mppm: unit insns *)
 (** Sum of interval instruction counts (the trace length). *)
 
-val total_cycles : t -> float
+val total_cycles : t -> float  (* mppm: unit cycles *)
 (** Sum of interval cycle counts (the isolated run's duration). *)
 
-val cpi : t -> float
+val cpi : t -> float  (* mppm: unit cycles/insns *)
 (** Whole-trace single-core CPI. *)
 
-val memory_cpi : t -> float
+val memory_cpi : t -> float  (* mppm: unit cycles/insns *)
 (** Whole-trace memory CPI component. *)
 
-val memory_cpi_fraction : t -> float
+val memory_cpi_fraction : t -> float  (* mppm: unit 1 *)
 (** [memory_cpi / cpi]: the memory-boundedness used to classify benchmarks
     into MEM/COMP categories (paper Sec. 5). *)
 
-val llc_mpki : t -> float
+val llc_mpki : t -> float  (* mppm: unit accesses/insns *)
 (** LLC misses per kilo-instruction over the whole trace. *)
 
 (** Aggregate statistics over an instruction window [start, start+count),
     positions taken modulo the trace length (programs restart). *)
 type window = {
-  w_instructions : float;
-  w_cycles : float;
-  w_memory_stall_cycles : float;
-  w_llc_accesses : float;
-  w_llc_misses : float;
+  w_instructions : float;  (* mppm: unit insns *)
+  w_cycles : float;  (* mppm: unit cycles *)
+  w_memory_stall_cycles : float;  (* mppm: unit cycles *)
+  w_llc_accesses : float;  (* mppm: unit accesses *)
+  w_llc_misses : float;  (* mppm: unit accesses *)
   w_sdc : Mppm_cache.Sdc.t;
 }
 
+(* mppm: unit start:insns -> count:insns -> window *)
 val window : t -> start:float -> count:float -> window
 (** [window t ~start ~count] sums interval statistics over the window,
     scaling the partial intervals at each end linearly (accesses are
     assumed uniform within one interval).  [count] must be positive and
     [start] non-negative. *)
 
-val window_cpi : window -> float
+val window_cpi : window -> float  (* mppm: unit cycles/insns *)
 (** [w_cycles / w_instructions]. *)
 
 (* lint: allow S4 per-window readout kept for the two-run validation workflow *)
-val window_memory_cpi : window -> float
+val window_memory_cpi : window -> float  (* mppm: unit cycles/insns *)
 (** [w_memory_stall_cycles / w_instructions]. *)
 
+(* mppm: unit assoc:ways -> profile *)
 val reduce_associativity : t -> assoc:int -> t
 (** [reduce_associativity t ~assoc] derives the profile for an LLC of lower
     associativity (same set count): SDCs fold per
@@ -90,17 +92,17 @@ val format_version : string
     {!load}.  Include it in any persistent cache key so a format change
     invalidates old entries instead of loading them. *)
 
-val save : t -> string -> unit
+val save : t -> string -> unit  (* mppm: unit _ *)
 (** [save t path] writes the profile as a line-oriented text file.
     Floats are rendered shortest-round-trip, so [load (save t)] is
     bit-for-bit identical to [t].  The write is atomic: bytes go to
     [path ^ ".tmp"] and are renamed into place, so a concurrent reader or
     an interrupted run never sees a truncated file. *)
 
-val load : string -> t
+val load : string -> t  (* mppm: unit profile *)
 (** [load path] reads a profile written by {!save}.  Raises [Failure] with
     a line diagnostic on malformed input or an unsupported format
     version. *)
 
-val pp_summary : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit  (* mppm: unit _ *)
 (** One-line whole-trace summary: CPI, memory CPI, MPKI, intervals. *)

@@ -38,28 +38,28 @@ val create :
     the profile transformation little cores get on the MPPM side: compute
     cycles scale, memory-stall cycles do not. *)
 
-val step : t -> cap:int -> int
+val step : t -> cap:int -> int  (* mppm: unit cap:insns -> insns *)
 (** [step t ~cap] executes the next op block, retiring at most [cap]
     instructions, and returns the number retired.  Advances the cycle and
     counter state. *)
 
-val retired : t -> int
+val retired : t -> int  (* mppm: unit insns *)
 (** Total instructions retired. *)
 
 val hierarchy : t -> Mppm_cache.Hierarchy.t
 (** The hierarchy this core drives, e.g. for
     {!Mppm_cache.Hierarchy.counters} observability snapshots. *)
 
-val cycles : t -> float
+val cycles : t -> float  (* mppm: unit cycles *)
 (** Total cycles consumed. *)
 
-val memory_stall_cycles : t -> float
+val memory_stall_cycles : t -> float  (* mppm: unit cycles *)
 (** Cycles attributed to LLC misses by the counter architecture. *)
 
-val llc_accesses : t -> int
+val llc_accesses : t -> int  (* mppm: unit accesses *)
 (** LLC lookups issued by this core. *)
 
-val llc_misses : t -> int
+val llc_misses : t -> int  (* mppm: unit accesses *)
 (** LLC misses suffered by this core. *)
 
 (** Snapshot of the running counters, used to compute per-interval or
@@ -72,8 +72,8 @@ type snapshot = {
   s_llc_misses : int;
 }
 
-val snapshot : t -> snapshot
+val snapshot : t -> snapshot  (* mppm: unit snapshot *)
 (** The counters as of now. *)
 
-val since : t -> snapshot -> snapshot
+val since : t -> snapshot -> snapshot  (* mppm: unit snapshot *)
 (** [since t s] is the counter delta between now and snapshot [s]. *)

@@ -12,30 +12,31 @@
     consistent — the same relationship CMP$im has to itself in the paper. *)
 
 type params = {
-  width : int;  (** pipeline width (descriptive; Table 1: 4) *)
+  width : int;  (** pipeline width (descriptive; Table 1: 4) *)  (* mppm: unit insns/cycles *)
   rob_entries : int;  (** ROB size (descriptive; Table 1: 128) *)
-  l2_exposure : float;
+  l2_exposure : float;  (* mppm: unit 1 *)
       (** fraction of an L2 hit's extra latency the core cannot hide *)
-  llc_exposure : float;  (** same for LLC hits *)
-  memory_exposure : float;  (** same for memory accesses (LLC misses) *)
-  fetch_exposure : float;
+  llc_exposure : float;  (** same for LLC hits *)  (* mppm: unit 1 *)
+  memory_exposure : float;  (** same for memory accesses (LLC misses) *)  (* mppm: unit 1 *)
+  fetch_exposure : float;  (* mppm: unit 1 *)
       (** fraction of miss latency exposed on the fetch path (front-end
           stalls are harder to hide than data stalls) *)
 }
 
-val default : params
+val default : params  (* mppm: unit params *)
 (** Calibrated defaults for the Table 1 core. *)
 
-val data_stall : params -> mlp:float -> Mppm_cache.Hierarchy.result -> float
+val data_stall : params -> mlp:float -> Mppm_cache.Hierarchy.result -> float  (* mppm: unit mlp:1 -> cycles *)
 (** [data_stall params ~mlp result] is the exposed stall (cycles) of a data
     access satisfied as [result].  L1 hits stall nothing (their latency is
     folded into the base CPI); deeper hits expose
     [exposure * (latency - 1)]; LLC and memory stalls are divided by
     [mlp]. *)
 
-val fetch_stall : params -> Mppm_cache.Hierarchy.result -> float
+val fetch_stall : params -> Mppm_cache.Hierarchy.result -> float  (* mppm: unit cycles *)
 (** Exposed stall of an instruction fetch. *)
 
+(* mppm: unit mlp:1 -> cycles *)
 val llc_miss_extra_stall : params -> config:Mppm_cache.Hierarchy.config -> mlp:float -> float
 (** [llc_miss_extra_stall params ~config ~mlp] is the stall a data access
     suffers {e because} it missed the LLC: the difference between its
@@ -44,7 +45,7 @@ val llc_miss_extra_stall : params -> config:Mppm_cache.Hierarchy.config -> mlp:f
     (Eyerman et al.), and by construction equals the two-run
     (perfect-vs-real LLC) difference. *)
 
-val fetch_llc_miss_extra_stall :
+val fetch_llc_miss_extra_stall :  (* mppm: unit cycles *)
   params -> config:Mppm_cache.Hierarchy.config -> float
 (** Same quantity for a fetch that missed the LLC. *)
 

@@ -12,12 +12,12 @@
 type t
 (** A channel: its occupancy parameter plus busy-horizon state. *)
 
-val create : transfer_cycles:float -> t
+val create : transfer_cycles:float -> t  (* mppm: unit transfer_cycles:cycles -> channel *)
 (** [create ~transfer_cycles] is an idle channel; [transfer_cycles] is the
     occupancy per line transfer (e.g. 64B at 4 bytes/cycle = 16 cycles).
     Must be positive. *)
 
-val request : t -> now:float -> float
+val request : t -> now:float -> float  (* mppm: unit now:cycles -> cycles *)
 (** [request t ~now] enqueues a line transfer issued at time [now] (cycles)
     and returns the queueing delay the requester suffers before its
     transfer starts (0 when the channel is idle).  Out-of-order arrival
@@ -25,13 +25,13 @@ val request : t -> now:float -> float
     request in the channel's past is treated as arriving at the channel's
     current horizon only for occupancy purposes. *)
 
-val transfers : t -> int
+val transfers : t -> int  (* mppm: unit accesses *)
 (** Lines transferred so far. *)
 
-val total_queueing : t -> float
+val total_queueing : t -> float  (* mppm: unit cycles *)
 (** Sum of all queueing delays handed out. *)
 
-val utilization : t -> now:float -> float
+val utilization : t -> now:float -> float  (* mppm: unit now:cycles -> 1 *)
 (** Fraction of time the channel has been busy up to [now]. *)
 
 val reset : t -> unit

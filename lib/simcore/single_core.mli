@@ -11,14 +11,14 @@ type run_config = {
   perfect_llc : bool;
       (** make every LLC access hit: the paper's alternative way of
           isolating the memory CPI component (two-run method) *)
-  bandwidth : float option;
+  bandwidth : float option;  (* mppm: unit cycles *)
       (** cycles of memory-channel occupancy per line transfer; [Some _]
           gives the isolated run a private channel so its profile carries
           self-queueing ([None] = unlimited bandwidth, the paper's
           machine) *)
 }
 
-val config :
+val config :  (* mppm: unit run_config *)
   ?core:Core_model.params ->
   ?perfect_llc:bool ->
   ?bandwidth:float ->
@@ -29,16 +29,16 @@ val config :
 
 (** Aggregate counters of one isolated run. *)
 type totals = {
-  instructions : int;
-  cycles : float;
-  cpi : float;
-  memory_stall_cycles : float;
-  memory_cpi : float;
-  llc_accesses : int;
-  llc_misses : int;
+  instructions : int;  (* mppm: unit insns *)
+  cycles : float;  (* mppm: unit cycles *)
+  cpi : float;  (* mppm: unit cycles/insns *)
+  memory_stall_cycles : float;  (* mppm: unit cycles *)
+  memory_cpi : float;  (* mppm: unit cycles/insns *)
+  llc_accesses : int;  (* mppm: unit accesses *)
+  llc_misses : int;  (* mppm: unit accesses *)
 }
 
-val run :
+val run :  (* mppm: unit offset:bytes -> seed:1 -> instructions:insns -> totals *)
   ?offset:int ->
   ?compute_scale:float ->
   run_config ->
@@ -52,7 +52,7 @@ val run :
     zero by construction.  [compute_scale] models a heterogeneous "little"
     core (see {!Core_engine.create}). *)
 
-val profile :
+val profile :  (* mppm: unit offset:bytes -> seed:1 -> trace_instructions:insns -> interval_instructions:insns -> profile *)
   ?offset:int ->
   ?compute_scale:float ->
   run_config ->
@@ -67,7 +67,7 @@ val profile :
     [interval_instructions].  [config.perfect_llc] must be [false] (a
     perfect-LLC profile has no SDC content). *)
 
-val memory_cpi_two_run :
+val memory_cpi_two_run :  (* mppm: unit offset:bytes -> seed:1 -> instructions:insns -> cycles/insns *)
   ?offset:int ->
   ?compute_scale:float ->
   run_config ->

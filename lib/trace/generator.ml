@@ -119,6 +119,7 @@ let advance t k =
 
 let lines_in bytes = max 1 (bytes / line_bytes)
 
+(* mppm: unit _ -- byte address *)
 let region_address t (st : region_state) =
   let open Benchmark in
   let within =
@@ -135,6 +136,7 @@ let region_address t (st : region_state) =
   in
   t.offset + st.base + within
 
+(* mppm: unit insns -- compute-gap draw between accesses *)
 let draw_gap t (ps : phase_state) =
   if ps.phase.Benchmark.mem_ratio >= 1.0 then 0
   else
@@ -145,16 +147,19 @@ let draw_gap t (ps : phase_state) =
 
 (* Weighted region pick with the phase's precomputed total weight.  The
    scan is toplevel so the per-access pick allocates no closure. *)
+(* mppm: unit _ -- weighted index scan *)
 let rec scan_weights weights n target i acc =
   if i >= n - 1 then n - 1
   else
     let acc = acc +. weights.(i) in
     if target < acc then i else scan_weights weights n target (i + 1) acc
 
+(* mppm: unit _ -- weighted region index draw *)
 let pick_region t (ps : phase_state) =
   let target = Mppm_util.Rng.float t.rng ps.total_weight in
   scan_weights ps.weights (Array.length ps.weights) target 0 0.0
 
+(* mppm: unit _ -> cap:insns -> op *)
 let next t ~cap =
   if cap < 1 then invalid_arg "Generator.next: cap must be >= 1";
   let ps = t.phases.(t.phase_idx) in
@@ -194,6 +199,7 @@ let next t ~cap =
     end
   end
 
+(* mppm: unit op -- generated fetch op *)
 let next_fetch t =
   (* Fetches cycle sequentially through the hot loop body (so the L1I sees
      steady reuse to the extent the loop fits), with occasional excursions

@@ -13,7 +13,7 @@ type access = { addr : int; kind : access_kind }
 (** One data reference: byte address plus load/store. *)
 
 type t = {
-  instructions : int;
+  instructions : int;  (* mppm: unit insns *)
       (** instructions retired by this block, including the memory
           instruction itself when [access] is [Some _]; always >= 1 *)
   access : access option;
@@ -21,10 +21,10 @@ type t = {
           pure compute (e.g. the tail of a phase). *)
 }
 
-val compute : int -> t
+val compute : int -> t  (* mppm: unit insns -> op *)
 (** [compute n] is a block of [n] compute instructions. *)
 
-val memory : gap:int -> addr:int -> kind:access_kind -> t
+val memory : gap:int -> addr:int -> kind:access_kind -> t  (* mppm: unit gap:insns -> addr:_ -> kind:_ -> op *)
 (** [memory ~gap ~addr ~kind] is [gap] compute instructions followed by one
     memory instruction. *)
 

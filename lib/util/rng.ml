@@ -23,6 +23,7 @@ let create ~seed =
 
 let copy t = { a = t.a; b = t.b }
 
+(* mppm: unit _ -- raw xorshift bits carry no unit *)
 let next t =
   let s1 = t.a and s0 = t.b in
   t.a <- s0;
@@ -39,6 +40,7 @@ let bits64 t =
 
 let split t = create ~seed:(next t)
 
+(* mppm: unit _ -- uniform draw carries no unit *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Modulo over 62 random bits: bias is < bound / 2^62, negligible for the
@@ -51,6 +53,7 @@ let int_in t ~lo ~hi =
 
 let float_scale = 1.0 /. 9007199254740992.0 (* 2^-53 *)
 
+(* mppm: unit _ -- uniform draw carries no unit *)
 let float t bound =
   float_of_int (next t land ((1 lsl 53) - 1)) *. float_scale *. bound
 

@@ -14,6 +14,7 @@ module Sarif = Mppm_lint.Sarif
 module Facts = Mppm_sema.Facts
 module Effects = Mppm_sema.Effects
 module Sema = Mppm_sema.Sema
+module Units = Mppm_sema.Units
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -838,6 +839,193 @@ let hot_closure_tests =
 
 (* Driver-level coverage: unknown rule names are a usage error, and
    --report hot prints the inventory. *)
+(* ---- U rules: dimensional analysis ---------------------------------------- *)
+
+let u_rules r =
+  List.filter
+    (fun d -> String.length d.Diag.rule = 2 && d.Diag.rule.[0] = 'U')
+    r.Sema.diags
+
+let test_u1_mixed_arithmetic () =
+  let mli =
+    "val cyc : float  (* mppm: unit cycles *)\n\
+     val ins : float  (* mppm: unit insns *)\n\
+     val bad : float\n"
+  in
+  let ml = "let cyc = 1.0\nlet ins = 2.0\nlet bad = cyc +. ins\n" in
+  let r = analyze [ ("lib/demo/u.mli", mli); ("lib/demo/u.ml", ml) ] in
+  (match u_rules r with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "U1" d.Diag.rule;
+      Alcotest.(check bool) "message names both units" true
+        (contains d.Diag.message "cycles" && contains d.Diag.message "insns")
+  | ds -> Alcotest.failf "expected one U1, got %d U findings" (List.length ds));
+  (* Same-unit arithmetic and literals stay silent. *)
+  let ml_ok = "let cyc = 1.0\nlet ins = 2.0\nlet bad = cyc +. cyc +. 5.0 -. (cyc -. cyc) *. 2.0\n" in
+  let r = analyze [ ("lib/demo/u.mli", mli); ("lib/demo/u.ml", ml_ok) ] in
+  Alcotest.(check int) "clean module has no U findings" 0
+    (List.length (u_rules r))
+
+let test_u2_cumulative_flavor () =
+  let mli =
+    "val total : float  (* mppm: unit cumulative accesses *)\n\
+     val total2 : float  (* mppm: unit cumulative accesses *)\n\
+     val charge : window:float -> float  (* mppm: unit window:accesses -> accesses *)\n\
+     val delta : float\n\
+     val bad : float\n\
+     val worse : float\n"
+  in
+  let ml =
+    "let total = 100.0\n\
+     let total2 = 160.0\n\
+     let charge ~window = window\n\
+     let delta = total2 -. total\n\
+     let bad = charge ~window:total\n\
+     let worse = total +. total2\n"
+  in
+  let r = analyze [ ("lib/demo/u.mli", mli); ("lib/demo/u.ml", ml) ] in
+  let us = u_rules r in
+  Alcotest.(check (list string)) "both flavor confusions are U2"
+    [ "U2"; "U2" ]
+    (List.map (fun d -> d.Diag.rule) us);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "message explains the flavor" true
+        (contains d.Diag.message "cumulative"))
+    us;
+  (* The subtraction discharge [total2 -. total] raised nothing: only the
+     call-site hand-off and the cumulative addition fired. *)
+  Alcotest.(check bool) "discharge line is silent" true
+    (List.for_all (fun d -> d.Diag.line <> 4) us)
+
+let test_u3_ratio () =
+  let mli =
+    "val cpi : float  (* mppm: unit cycles/insns *)\n\
+     val ipc : float  (* mppm: unit insns/cycles *)\n\
+     val idx : float  (* mppm: unit intervals *)\n\
+     val accs : float  (* mppm: unit accesses *)\n\
+     val bad : float\n\
+     val bad2 : float\n"
+  in
+  let ml =
+    "let cpi = 2.0\nlet ipc = 0.5\nlet idx = 3.0\nlet accs = 9.0\n\
+     let bad = cpi +. ipc\n\
+     let bad2 = idx +. accs\n"
+  in
+  let r = analyze [ ("lib/demo/u.mli", mli); ("lib/demo/u.ml", ml) ] in
+  (match u_rules r with
+  | [ a; b ] ->
+      Alcotest.(check (list string)) "both are U3" [ "U3"; "U3" ]
+        [ a.Diag.rule; b.Diag.rule ];
+      Alcotest.(check bool) "reciprocal ratio named inverted" true
+        (contains a.Diag.message "inverted"
+        || contains b.Diag.message "inverted");
+      Alcotest.(check bool) "interval-as-count named" true
+        (contains a.Diag.message "interval index"
+        || contains b.Diag.message "interval index")
+  | ds -> Alcotest.failf "expected two U3, got %d U findings" (List.length ds))
+
+(* The committed SDC prefix-sum readout is the real-source anchor: flip its
+   subtraction into an addition and U2 must fire on the flipped line. *)
+let test_u2_real_sdc_flip () =
+  match lint_root () with
+  | None -> Alcotest.fail "cannot locate the source tree"
+  | Some root ->
+      let ml = read_file (Filename.concat root "lib/cache/sdc.ml") in
+      let mli = read_file (Filename.concat root "lib/cache/sdc.mli") in
+      let clean =
+        analyze [ ("lib/cache/sdc.mli", mli); ("lib/cache/sdc.ml", ml) ]
+      in
+      Alcotest.(check int) "pristine readout is unit-clean" 0
+        (List.length (u_rules clean));
+      let needle = "prefix.(last) -. prefix.(first)" in
+      Alcotest.(check bool) "readout shape present" true (contains ml needle);
+      let idx =
+        let n = String.length needle and h = String.length ml in
+        let rec go i =
+          if i + n > h then Alcotest.fail "needle vanished"
+          else if String.sub ml i n = needle then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let flipped =
+        String.sub ml 0 idx
+        ^ "prefix.(last) +. prefix.(first)"
+        ^ String.sub ml (idx + String.length needle)
+            (String.length ml - idx - String.length needle)
+      in
+      let r =
+        analyze [ ("lib/cache/sdc.mli", mli); ("lib/cache/sdc.ml", flipped) ]
+      in
+      (match u_rules r with
+      | [ d ] ->
+          Alcotest.(check string) "flipped subtraction is U2" "U2" d.Diag.rule;
+          Alcotest.(check bool) "message explains composition" true
+            (contains d.Diag.message "cumulative")
+      | ds ->
+          Alcotest.failf "expected exactly one U2, got %d U findings"
+            (List.length ds))
+
+let units_lattice_tests =
+  let unit_arb =
+    let open QCheck in
+    let dims_gen =
+      Gen.list_size (Gen.int_bound 3)
+        (Gen.pair
+           (Gen.oneofl [ "cycles"; "insns"; "accesses"; "ways" ])
+           (Gen.oneofl [ -2; -1; 1; 2 ]))
+    in
+    make
+      (Gen.frequency
+         [
+           (1, Gen.return Units.Any);
+           (1, Gen.return Units.Opaque);
+           ( 4,
+             Gen.map2
+               (fun dims cum -> Units.known ~cum dims)
+               dims_gen Gen.bool );
+         ])
+  in
+  let open Units in
+  [
+    QCheck.Test.make ~name:"unit join is idempotent" ~count:500 unit_arb
+      (fun a -> equal (join a a) a);
+    QCheck.Test.make ~name:"unit join is commutative" ~count:500
+      (QCheck.pair unit_arb unit_arb) (fun (a, b) ->
+        equal (join a b) (join b a));
+    QCheck.Test.make ~name:"unit join is associative" ~count:500
+      (QCheck.triple unit_arb unit_arb unit_arb) (fun (a, b, c) ->
+        equal (join a (join b c)) (join (join a b) c));
+    QCheck.Test.make ~name:"Any is the join identity" ~count:500 unit_arb
+      (fun a -> equal (join a Any) a && equal (join Any a) a);
+    QCheck.Test.make ~name:"Opaque absorbs joins" ~count:500 unit_arb
+      (fun a -> equal (join a Opaque) Opaque && equal (join Opaque a) Opaque);
+    QCheck.Test.make ~name:"unit mul is commutative" ~count:500
+      (QCheck.pair unit_arb unit_arb) (fun (a, b) ->
+        equal (mul a b) (mul b a));
+    QCheck.Test.make ~name:"unit mul is associative" ~count:500
+      (QCheck.triple unit_arb unit_arb unit_arb) (fun (a, b, c) ->
+        equal (mul a (mul b c)) (mul (mul a b) c));
+    QCheck.Test.make ~name:"div cancels mul on plain units" ~count:500
+      (QCheck.pair unit_arb unit_arb) (fun (a, b) ->
+        match (a, b) with
+        | Known { cum = false; _ }, Known { cum = false; _ } ->
+            equal (div (mul a b) b) a
+        | _ -> true);
+    QCheck.Test.make ~name:"parse inverts to_string" ~count:500 unit_arb
+      (fun a -> equal (parse (to_string a)) a);
+    QCheck.Test.make ~name:"ratio<a,b> parses as a/b" ~count:500
+      (QCheck.pair unit_arb unit_arb) (fun (a, b) ->
+        match (a, b) with
+        | Known _, Known _ ->
+            equal
+              (parse
+                 (Printf.sprintf "ratio<%s,%s>" (to_string a) (to_string b)))
+              (div a b)
+        | _ -> true);
+  ]
+
 let test_driver_unknown_rule_and_report () =
   match lint_root () with
   | None -> Alcotest.fail "cannot locate the source tree"
@@ -860,10 +1048,20 @@ let test_driver_unknown_rule_and_report () =
           (contains (read_file out) "lint: unknown rule BOGUS");
         let rc = run "--only NOPE" in
         Alcotest.(check int) "unknown --only exits 2" 2 rc;
+        Alcotest.(check bool) "known-rule listing is alphabetized" true
+          (contains (read_file out) "U1 U2 U3)");
+        let rc = run "--rules U1,U1" in
+        Alcotest.(check int) "duplicate --rules entries dedup" 0 rc;
         let rc = run "--report hot" in
         Alcotest.(check int) "--report hot exits 0" 0 rc;
         Alcotest.(check bool) "inventory header printed" true
           (contains (read_file out) "hot-path inventory:");
+        let rc = run "--report units" in
+        Alcotest.(check int) "--report units exits 0" 0 rc;
+        Alcotest.(check bool) "coverage header printed" true
+          (contains (read_file out) "unit coverage:");
+        Alcotest.(check bool) "hot paths carry no opaque unit" true
+          (contains (read_file out) "none with an opaque unit");
         Sys.remove out
       end
 
@@ -1033,6 +1231,8 @@ let tests =
           test_s2_real_generator_separation;
         Alcotest.test_case "S6 catches an injected impure task" `Quick
           test_s6_real_experiments_injection;
+        Alcotest.test_case "U2 catches a flipped SDC readout" `Quick
+          test_u2_real_sdc_flip;
       ] );
     ( "sema.rules",
       [
@@ -1079,9 +1279,18 @@ let tests =
         Alcotest.test_case "driver: unknown rule, --report hot" `Quick
           test_driver_unknown_rule_and_report;
       ] );
+    ( "sema.units",
+      [
+        Alcotest.test_case "U1 mixed arithmetic" `Quick
+          test_u1_mixed_arithmetic;
+        Alcotest.test_case "U2 cumulative flavor" `Quick
+          test_u2_cumulative_flavor;
+        Alcotest.test_case "U3 ratio soundness" `Quick test_u3_ratio;
+      ] );
     ( "sema.properties",
       List.map QCheck_alcotest.to_alcotest
-        (qcheck_tests @ lattice_tests @ hot_closure_tests) );
+        (qcheck_tests @ lattice_tests @ hot_closure_tests
+        @ units_lattice_tests) );
     ( "sema.cache",
       [
         Alcotest.test_case "zero re-parses on unchanged inputs" `Quick

@@ -16,6 +16,7 @@ type lexed = {
   allow_files : string list;
   hots : int list;
   colds : int list;
+  units : (string * int * bool) list;
 }
 
 let is_digit c = c >= '0' && c <= '9'
@@ -41,8 +42,12 @@ type allow_scope = Allow_line | Allow_file
    on the same line (or the line below) as a hotness root for the
    sema-layer P rules; "mppm: cold" marks the expression starting on the
    same line (or the line below) as off the hot path.  Either may be
-   followed by free-form rationale text. *)
-type hot_mark = Mark_hot | Mark_cold
+   followed by free-form rationale text.  "mppm: unit <expr>" attaches a
+   physical unit to the .mli item, record field or toplevel binding on
+   the same line (or just below); the unit expression runs to the first
+   "--" separator or the end of the comment, so rationale text can
+   follow. *)
+type hot_mark = Mark_hot | Mark_cold | Mark_unit of string
 
 let parse_hot body =
   match
@@ -51,6 +56,17 @@ let parse_hot body =
   with
   | "mppm:" :: "hot" :: _ -> Some Mark_hot
   | "mppm:" :: "cold" :: _ -> Some Mark_cold
+  | "mppm:" :: "unit" :: rest ->
+      let rec until_sep = function
+        | [] -> []
+        | tok :: _
+          when String.length tok >= 2
+               && (String.sub tok 0 2 = "--" || String.sub tok 0 2 = "\xe2\x80")
+          ->
+            []
+        | tok :: rest -> tok :: until_sep rest
+      in
+      Some (Mark_unit (String.concat " " (until_sep rest)))
   | _ -> None
 
 let parse_allow body =
@@ -90,6 +106,7 @@ let lex source =
   let allow_files = ref [] in
   let hots = ref [] in
   let colds = ref [] in
+  let units = ref [] in
   let line = ref 1 in
   let i = ref 0 in
   let peek k = if !i + k < n then Some source.[!i + k] else None in
@@ -182,6 +199,16 @@ let lex source =
       match parse_hot body with
       | Some Mark_hot -> hots := start_line :: !hots
       | Some Mark_cold -> colds := start_line :: !colds
+      | Some (Mark_unit u) ->
+          (* A trailing annotation (code precedes it on its line) belongs
+             to that line's item only; a standalone one may also attach
+             to the item one or two lines below. *)
+          let trailing =
+            match !tokens with
+            | { line = l; _ } :: _ -> l = start_line
+            | [] -> false
+          in
+          units := (u, start_line, trailing) :: !units
       | None -> (
       (* fall through to the allow-comment parse *)
       match parse_allow body with
@@ -359,4 +386,5 @@ let lex source =
     allow_files = List.rev !allow_files;
     hots = List.rev !hots;
     colds = List.rev !colds;
+    units = List.rev !units;
   }

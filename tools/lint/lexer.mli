@@ -35,6 +35,14 @@ type lexed = {
       (** start lines of [(* mppm: cold ... *)] annotations excluding the
           expression starting on the same line (or the line below) from
           the hot region *)
+  units : (string * int * bool) list;
+      (** [(unit-expression, line, trailing)] for each
+          [(* mppm: unit ... *)] annotation; the unit expression is the
+          text up to the first ["--"] (or dash) separator, and
+          [trailing] records whether code precedes the comment on its
+          line — a trailing annotation attaches only to that line's
+          item, a standalone one also to the item one or two lines
+          below *)
 }
 
 val lex : string -> lexed

@@ -2,13 +2,13 @@
    merged findings, exit 1 on errors.
 
    Layers: the token rules (D1 D2 F1 M1 E1 O1, Mppm_lint) and the AST
-   rules (S1-S8 and the hot-path perf rules P1-P4, Mppm_sema).  Both
-   share root-relative paths and the [(* lint: allow ... *)]
-   suppression comments.
+   rules (S1-S8, the hot-path perf rules P1-P4 and the unit rules U1-U3,
+   Mppm_sema).  Both share root-relative paths and the
+   [(* lint: allow ... *)] suppression comments.
 
    Usage: lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]...
                    [--rules R1,R2] [--fix] [--cache FILE] [--verbose]
-                   [--report hot] [--bench FILE] *)
+                   [--report hot|units] [--bench FILE] *)
 
 module Diag = Mppm_lint.Diag
 module Engine = Mppm_lint.Engine
@@ -20,7 +20,7 @@ type format = Text | Json | Sarif
 
 let usage =
   "lint.exe [--root DIR] [--format text|json|sarif] [--only RULE]... \
-   [--rules R1,R2] [--fix] [--cache FILE] [--verbose] [--report hot] \
+   [--rules R1,R2] [--fix] [--cache FILE] [--verbose] [--report hot|units] \
    [--bench FILE]"
 
 (* Human-readable byte counts for the Gc cross-reference table. *)
@@ -118,6 +118,118 @@ let report_hot ~root ~bench (report : Mppm_sema.Sema.report) =
                         ph.Mppm_obs.Bench_report.ph_seconds)
                 bench.Mppm_obs.Bench_report.r_phases))
 
+(* --report units: the annotation coverage map.  One row per lib/
+   module — public .mli values that are annotated, inferred or opaque —
+   plus the hot-path opacity check: every function on a
+   (* mppm: hot *) path must carry or infer a unit, so the per-quantum
+   math stays inside the checked algebra.  Exit 1 when a lib/ hot-path
+   function has an opaque unit. *)
+let report_units (report : Mppm_sema.Sema.report) =
+  let module U = Mppm_sema.Units in
+  let cov = report.Mppm_sema.Sema.units.U.u_coverage in
+  let tot f = List.fold_left (fun a c -> a + f c) 0 cov in
+  let ann = tot (fun c -> c.U.cov_annotated)
+  and inf = tot (fun c -> c.U.cov_inferred)
+  and opq = tot (fun c -> c.U.cov_opaque) in
+  let total = ann + inf + opq in
+  let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b in
+  Printf.printf
+    "unit coverage: %d public values across %d lib/ modules — %d annotated, \
+     %d inferred, %d opaque (%.1f%% covered)\n\n"
+    total (List.length cov) ann inf opq
+    (pct (ann + inf) total);
+  Printf.printf "  %-34s %9s %8s %6s\n" "module" "annotated" "inferred"
+    "opaque";
+  List.iter
+    (fun (c : U.coverage) ->
+      Printf.printf "  %-34s %9d %8d %6d\n" c.U.cov_key c.U.cov_annotated
+        c.U.cov_inferred c.U.cov_opaque)
+    cov;
+  let opaque_rows =
+    List.filter (fun (c : U.coverage) -> c.U.cov_opaque_names <> []) cov
+  in
+  if opaque_rows <> [] then begin
+    Printf.printf "\nopaque values:\n";
+    List.iter
+      (fun (c : U.coverage) ->
+        Printf.printf "  %s: %s\n" c.U.cov_key
+          (String.concat ", " c.U.cov_opaque_names))
+      opaque_rows
+  end;
+  let class_of = Hashtbl.create 512 in
+  List.iter
+    (fun (k, c) -> Hashtbl.replace class_of k c)
+    report.Mppm_sema.Sema.units.U.u_fn_class;
+  let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/" in
+  let hot_lib =
+    List.filter
+      (fun (e : Mppm_sema.Hotpath.entry) -> in_lib e.Mppm_sema.Hotpath.h_rel)
+      report.Mppm_sema.Sema.hot
+  in
+  let opaque_hot =
+    List.filter
+      (fun (e : Mppm_sema.Hotpath.entry) ->
+        Hashtbl.find_opt class_of e.Mppm_sema.Hotpath.h_key
+        = Some U.Opaque_unit)
+      hot_lib
+  in
+  if opaque_hot = [] then
+    Printf.printf
+      "\nhot-path units: %d hot lib/ functions, none with an opaque unit\n"
+      (List.length hot_lib)
+  else begin
+    Printf.printf "\nhot-path functions with an opaque unit:\n";
+    List.iter
+      (fun (e : Mppm_sema.Hotpath.entry) ->
+        Printf.printf "  %s (%s:%d)\n" e.Mppm_sema.Hotpath.h_label
+          e.Mppm_sema.Hotpath.h_rel e.Mppm_sema.Hotpath.h_line)
+      opaque_hot
+  end;
+  opaque_hot = []
+
+(* --fix, sema side: insert a missing (* mppm: unit ... *) annotation at
+   the end of an .mli val line whose unit the strict (fallback-free)
+   inference determined uniquely from its definition.  End-of-line
+   placement keeps the annotation inside the lexer's attachment window
+   without disturbing M1's doc-comment association.  Idempotent: an
+   annotated item is never suggested again. *)
+let apply_unit_suggestions ~root suggestions =
+  let by_file = Hashtbl.create 16 in
+  List.iter
+    (fun (rel, line, name, u) ->
+      let prev =
+        match Hashtbl.find_opt by_file rel with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_file rel ((line, name, u) :: prev))
+    suggestions;
+  Hashtbl.fold (fun rel items acc -> (rel, items) :: acc) by_file []
+  |> List.sort compare
+  |> List.map (fun (rel, items) ->
+         let path = Filename.concat root rel in
+         let ic = open_in_bin path in
+         let text =
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         let lines = String.split_on_char '\n' text in
+         let fixed =
+           List.mapi
+             (fun i l ->
+               match
+                 List.find_opt (fun (line, _, _) -> line = i + 1) items
+               with
+               | Some (_, _, u) ->
+                   Printf.sprintf "%s  (* mppm: unit %s *)" l u
+               | None -> l)
+             lines
+         in
+         let oc = open_out_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc (String.concat "\n" fixed));
+         (rel, List.length items))
+
 let () =
   let root = ref "." in
   let format = ref Text in
@@ -130,10 +242,10 @@ let () =
   let add_rule r =
     if not (List.mem r Rules.all_rule_ids) then begin
       Printf.eprintf "lint: unknown rule %s (known: %s)\n" r
-        (String.concat " " Rules.all_rule_ids);
+        (String.concat " " (List.sort compare Rules.all_rule_ids));
       exit 2
     end;
-    only := r :: !only
+    if not (List.mem r !only) then only := r :: !only
   in
   let spec =
     [
@@ -171,12 +283,13 @@ let () =
       ( "--report",
         Arg.String
           (fun s ->
-            if s <> "hot" then begin
-              Printf.eprintf "lint: unknown report %s (known: hot)\n" s;
+            if s <> "hot" && s <> "units" then begin
+              Printf.eprintf "lint: unknown report %s (known: hot units)\n" s;
               exit 2
             end;
             report_mode := s),
-        "hot  print the ranked hot-path inventory instead of findings" );
+        "hot|units  print the ranked hot-path inventory or the unit \
+         annotation coverage map instead of findings" );
       ( "--bench",
         Arg.Set_string bench,
         "FILE  bench report whose Gc deltas annotate --report hot \
@@ -209,15 +322,31 @@ let () =
           (if n = 1 then "" else "s"))
       fixed
   end;
-  let report =
+  let analyze () =
     Mppm_sema.Sema.analyze_tree
       ?cache_file:(if !cache_file = "" then None else Some !cache_file)
       ~root:!root ()
+  in
+  let report = analyze () in
+  let report =
+    if not !fix then report
+    else
+      match report.Mppm_sema.Sema.units.Mppm_sema.Units.u_suggest with
+      | [] -> report
+      | suggestions ->
+          List.iter
+            (fun (rel, n) ->
+              Printf.printf "fixed %s (%d unit annotation%s)\n" rel n
+                (if n = 1 then "" else "s"))
+            (apply_unit_suggestions ~root:!root suggestions);
+          (* Re-analyze so findings and reports reflect the fixed tree. *)
+          analyze ()
   in
   if !report_mode = "hot" then begin
     report_hot ~root:!root ~bench:!bench report;
     exit 0
   end;
+  if !report_mode = "units" then exit (if report_units report then 0 else 1);
   let token_diags = Engine.lint_tree ~root:!root in
   let diags = List.sort Diag.compare (token_diags @ report.Mppm_sema.Sema.diags) in
   let diags =

@@ -138,6 +138,31 @@ let all =
         "Boxed-float ref accumulation in a hot loop; accumulate through \
          a float array cell or an unboxed accumulator argument.";
     };
+    {
+      id = "U1";
+      layer = "ast";
+      summary =
+        "Mixed-unit arithmetic or comparison: adding, subtracting, \
+         min/max-ing or comparing two quantities whose (* mppm: unit *) \
+         dimensions disagree (cycles vs insns, ...).";
+    };
+    {
+      id = "U2";
+      layer = "ast";
+      summary =
+        "Cumulative/per-interval confusion: adding two cumulative \
+         counters, or passing/storing a cumulative value where a \
+         per-interval one is declared — only subtracting two cumulative \
+         readings discharges the flavor.";
+    };
+    {
+      id = "U3";
+      layer = "ast";
+      summary =
+        "Inverted or unit-unsound ratio: cycles/insns mixed with \
+         insns/cycles (CPI vs IPC), or an interval index used as an \
+         access/cycle/instruction count.";
+    };
   ]
 
 let all_ids = List.map (fun r -> r.id) all

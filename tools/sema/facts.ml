@@ -46,6 +46,35 @@ type perf_site = {
   ps_line : int;
 }
 
+(* ---- unit-analysis shapes (U1-U3) -------------------------------------- *)
+
+type uop = U_add | U_sub | U_mul | U_div | U_minmax | U_cmp | U_rem
+
+(* A serializable unit-relevant skeleton of an expression: enough structure
+   for the Units pass to infer and check physical units cross-module
+   without re-parsing.  Conversion is lossy by design — shapes the unit
+   algebra cannot reason about collapse to U_opaque (poisons, never
+   findings) or containers whose children are still checked. *)
+type uexpr =
+  | U_opaque  (* unknown value: never produces a finding *)
+  | U_const  (* literal or nullary constructor: unifies with anything *)
+  | U_ident of string list  (* alias-expanded value path *)
+  | U_field of string  (* record projection, by trailing field name *)
+  | U_apply of {
+      ua_path : string list;  (* callee path, [] when the head is computed *)
+      ua_args : (string option * uexpr) list;  (* (label, argument) *)
+      ua_line : int;
+    }
+  | U_arith of { uo_op : uop; uo_lhs : uexpr; uo_rhs : uexpr; uo_line : int }
+  | U_branch of uexpr list  (* if/match arms: result is the join *)
+  | U_let of { ul_name : string; ul_rhs : uexpr; ul_body : uexpr; ul_line : int }
+  | U_fun of { uf_params : (string option * string) list; uf_body : uexpr }
+  | U_seq of uexpr * uexpr  (* first checked, second is the value *)
+  | U_stmt of uexpr list  (* unit-typed container: checked, result free *)
+  | U_block of uexpr list  (* opaque container: checked, result unknown *)
+  | U_record of { ur_fields : (string * uexpr) list; ur_line : int }
+  | U_setfield of { us_field : string; us_rhs : uexpr; us_line : int }
+
 type fn = {
   fn_name : string;
   fn_line : int;
@@ -79,6 +108,11 @@ type fn = {
   loop_calls : string list list;
       (* value paths referenced inside loops: the propagation edges of an
          annotated root whose hot region is its loops *)
+  fn_uparams : (string option * string) list;
+      (* every parameter in binding order: (label, name) *)
+  fn_ubody : uexpr;  (* unit skeleton of the body (params stripped) *)
+  fn_unit_annot : string option;
+      (* (* mppm: unit ... *) annotation on or just above the binding *)
 }
 
 type rng_create = { rc_line : int; rc_constant_seed : bool }
@@ -95,6 +129,10 @@ type t = {
   fns : fn list;
   refs : string list list;  (* every value path referenced in the file *)
   mli_vals : (string * int) list;  (* .mli val items: (name, line) *)
+  val_units : (string * string) list;
+      (* (.mli val name, unit annotation) pairs, attached by line *)
+  field_units : (string * string) list;
+      (* (record field name, unit annotation) pairs from type decls *)
   rng_creates : rng_create list;
   float_accums : float_accum list;
   toplevel_muts : (string * string * int) list;
@@ -530,6 +568,205 @@ let pervasive_idents =
     "incr"; "decr"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
   ]
 
+let rec strip_params e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, _, rest) -> strip_params rest
+  | Parsetree.Pexp_newtype (_, rest) -> strip_params rest
+  | Parsetree.Pexp_constraint (e, _) -> strip_params e
+  | _ -> e
+
+(* ---- unit-skeleton conversion ------------------------------------------ *)
+
+(* Arithmetic heads the unit algebra understands, by alias-expanded path. *)
+let uop_of_path path =
+  let path = match path with "Stdlib" :: rest -> rest | p -> p in
+  match path with
+  | [ p ] -> (
+      match p with
+      | "+" | "+." -> Some U_add
+      | "-" | "-." -> Some U_sub
+      | "*" | "*." -> Some U_mul
+      | "/" | "/." -> Some U_div
+      | "mod" -> Some U_rem
+      | "min" | "max" -> Some U_minmax
+      | "=" | "<>" | "==" | "!=" | "<" | ">" | "<=" | ">=" | "compare" ->
+          Some U_cmp
+      | _ -> None)
+  | [ ("Float" | "Int") as m; p ] -> (
+      match p with
+      | "add" -> Some U_add
+      | "sub" -> Some U_sub
+      | "mul" -> Some U_mul
+      | "div" -> Some U_div
+      | "rem" when m = "Float" -> Some U_rem
+      | "min" | "max" -> Some U_minmax
+      | "equal" | "compare" -> Some U_cmp
+      | _ -> None)
+  | _ -> None
+
+(* Unary wrappers that preserve the unit of their (first positional)
+   argument: numeric casts, negation, rounding, ref cells and array
+   reads.  [sqrt]/[log]/[exp] are deliberately absent — they change or
+   destroy dimensions, so they collapse to opaque. *)
+let unit_transparent_of_path path =
+  let path = match path with "Stdlib" :: rest -> rest | p -> p in
+  match path with
+  | [ p ] ->
+      List.mem p
+        [
+          "~-"; "~-."; "~+"; "~+."; "abs"; "abs_float"; "float_of_int";
+          "int_of_float"; "truncate"; "floor"; "ceil"; "succ"; "pred";
+          "ref"; "!";
+        ]
+  | [ "Float"; p ] ->
+      List.mem p
+        [ "abs"; "neg"; "of_int"; "to_int"; "round"; "trunc"; "succ"; "pred" ]
+  | [ "Int"; p ] -> List.mem p [ "abs"; "neg"; "to_float"; "of_float" ]
+  | _ -> (
+      match List.rev path with
+      | ("get" | "unsafe_get") :: "Array" :: _ -> true
+      | _ -> false)
+
+(* Applications that produce no unit-bearing value (writes, loops-as-
+   functions, raises): children are still checked, the result is free. *)
+let unit_stmt_of_path path =
+  write_prim_of_path path <> None
+  ||
+  let path = match path with "Stdlib" :: rest -> rest | p -> p in
+  match path with
+  | [ p ] -> List.mem p ([ "ignore"; "assert" ] @ raise_prims)
+  | _ -> false
+
+let label_name = function
+  | Asttypes.Nolabel -> None
+  | Asttypes.Labelled s | Asttypes.Optional s -> Some s
+
+(* Every parameter of a curried binding, in order: (label, name). *)
+let rec all_params e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (lbl, _, pat, rest) ->
+      let name =
+        match pat.Parsetree.ppat_desc with
+        | Parsetree.Ppat_var { txt; _ } -> txt
+        | Parsetree.Ppat_constraint
+            ({ Parsetree.ppat_desc = Parsetree.Ppat_var { txt; _ }; _ }, _) ->
+            txt
+        | _ -> "_"
+      in
+      (label_name lbl, name) :: all_params rest
+  | Parsetree.Pexp_newtype (_, rest) -> all_params rest
+  | Parsetree.Pexp_constraint (e, _) -> all_params e
+  | _ -> []
+
+let field_name_of_lid lid =
+  match List.rev (flatten lid) with f :: _ -> Some f | [] -> None
+
+(* Convert an expression to its unit skeleton.  Total and lossy: shapes
+   outside the handled set become U_opaque, so the Units pass stays
+   silent about them rather than guessing. *)
+let rec uexpr_of aliases e =
+  let conv = uexpr_of aliases in
+  let line = line_of_expr e in
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant _ -> U_const
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match expand aliases (flatten txt) with
+      | [] -> U_opaque
+      | path -> U_ident path)
+  | Parsetree.Pexp_field (_, lid) -> (
+      match field_name_of_lid lid.Location.txt with
+      | Some f -> U_field f
+      | None -> U_opaque)
+  | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_newtype (_, e) -> conv e
+  | Parsetree.Pexp_open (_, e) -> conv e
+  | Parsetree.Pexp_apply (head, args) -> (
+      let path = head_path aliases head in
+      let positional =
+        List.filter_map
+          (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None)
+          args
+      in
+      if is_cold_apply_path path then U_stmt []
+      else
+        match (uop_of_path path, positional) with
+        | Some op, [ lhs; rhs ] ->
+            U_arith
+              { uo_op = op; uo_lhs = conv lhs; uo_rhs = conv rhs; uo_line = line }
+        | _ ->
+            if unit_transparent_of_path path then
+              match positional with a :: _ -> conv a | [] -> U_opaque
+            else if unit_stmt_of_path path then
+              U_stmt (List.map (fun (_, a) -> conv a) args)
+            else
+              U_apply
+                {
+                  ua_path = path;
+                  ua_args = List.map (fun (l, a) -> (label_name l, conv a)) args;
+                  ua_line = line;
+                })
+  | Parsetree.Pexp_ifthenelse (c, t, Some e) ->
+      U_seq (conv c, U_branch [ conv t; conv e ])
+  | Parsetree.Pexp_ifthenelse (c, t, None) ->
+      U_seq (conv c, U_stmt [ conv t ])
+  | Parsetree.Pexp_match (scrut, cases) | Parsetree.Pexp_try (scrut, cases) ->
+      U_seq
+        ( conv scrut,
+          U_branch (List.map (fun c -> conv c.Parsetree.pc_rhs) cases) )
+  | Parsetree.Pexp_let (_, vbs, body) ->
+      List.fold_right
+        (fun vb acc ->
+          match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } ->
+              U_let
+                {
+                  ul_name = txt;
+                  ul_rhs = conv vb.Parsetree.pvb_expr;
+                  ul_body = acc;
+                  ul_line = line_of_loc' vb.Parsetree.pvb_loc;
+                }
+          | _ -> U_seq (U_stmt [ conv vb.Parsetree.pvb_expr ], acc))
+        vbs (conv body)
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+      let params = all_params e in
+      let body =
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_function cases ->
+            U_branch (List.map (fun c -> conv c.Parsetree.pc_rhs) cases)
+        | _ -> conv (strip_params e)
+      in
+      let params = if params = [] then [ (None, "_") ] else params in
+      U_fun { uf_params = params; uf_body = body }
+  | Parsetree.Pexp_sequence (a, b) -> U_seq (conv a, conv b)
+  | Parsetree.Pexp_while (c, b) -> U_stmt [ conv c; conv b ]
+  | Parsetree.Pexp_for (_, lo, hi, _, b) -> U_stmt [ conv lo; conv hi; conv b ]
+  | Parsetree.Pexp_assert e | Parsetree.Pexp_lazy e -> U_stmt [ conv e ]
+  | Parsetree.Pexp_tuple es -> U_block (List.map conv es)
+  | Parsetree.Pexp_array es -> U_block (List.map conv es)
+  | Parsetree.Pexp_construct (_, Some e) -> U_block [ conv e ]
+  | Parsetree.Pexp_construct (_, None) | Parsetree.Pexp_variant (_, None) ->
+      U_const
+  | Parsetree.Pexp_variant (_, Some e) -> U_block [ conv e ]
+  | Parsetree.Pexp_record (fields, base) ->
+      let converted =
+        List.filter_map
+          (fun (lid, e) ->
+            match field_name_of_lid lid.Location.txt with
+            | Some f -> Some (f, conv e)
+            | None -> None)
+          fields
+      in
+      let base_checked =
+        match base with Some b -> [ ("_base", conv b) ] | None -> []
+      in
+      U_record { ur_fields = converted @ base_checked; ur_line = line }
+  | Parsetree.Pexp_setfield (_, lid, rhs) -> (
+      match field_name_of_lid lid.Location.txt with
+      | Some f -> U_setfield { us_field = f; us_rhs = conv rhs; us_line = line }
+      | None -> U_stmt [ conv rhs ])
+  | _ -> U_opaque
+
+and line_of_loc' (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
 (* ---- per-file extraction ----------------------------------------------- *)
 
 type state = {
@@ -543,6 +780,8 @@ type state = {
   mutable st_accums : float_accum list;
   mutable st_hots : int list;
   mutable st_colds : int list;
+  mutable st_units : (string * int * bool) list;
+  mutable st_fields : (string * string) list;
 }
 
 let rec pattern_names p =
@@ -552,6 +791,26 @@ let rec pattern_names p =
   | Parsetree.Ppat_tuple ps -> List.concat_map pattern_names ps
   | Parsetree.Ppat_alias (p, { txt; _ }) -> txt :: pattern_names p
   | _ -> []
+
+(* The unit annotation attached to an item starting at [line]: the
+   comment may sit on the same line, the line above, or two above (so it
+   stacks with a [(* mppm: hot *)] marker). *)
+let unit_annot_near units line =
+  match
+    List.find_map (fun (u, l, _) -> if l = line then Some u else None) units
+  with
+  | Some u -> Some u
+  | None ->
+      (* Only a standalone annotation reaches down to the next item, so
+         a trailing annotation on one record field never bleeds onto the
+         field declared on the following line. *)
+      List.find_map
+        (fun (u, l, trailing) ->
+          if (not trailing) && (l = line - 1 || l = line - 2) then Some u
+          else None)
+        units
+
+let unit_annot_at st line = unit_annot_near st.st_units line
 
 (* Summarize a closure handed to the parallel surface: writes to values
    it does not bind itself, every path it references, and captured
@@ -626,13 +885,6 @@ let lambda_captures st lambda =
           && not (List.mem v pervasive_idents)
       | _ -> false)
     lambda
-
-let rec strip_params e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_fun (_, _, _, rest) -> strip_params rest
-  | Parsetree.Pexp_newtype (_, rest) -> strip_params rest
-  | Parsetree.Pexp_constraint (e, _) -> strip_params e
-  | _ -> e
 
 (* P1-P4 site collection with hot-region structure.  One walk over the
    body records every perf-relevant shape outside the cold guards
@@ -1140,9 +1392,27 @@ let scan_body st ~fn_name ~fn_line body =
     loop_sites;
     warm_calls;
     loop_calls;
+    fn_uparams = all_params body;
+    fn_ubody = uexpr_of st.st_aliases (strip_params body);
+    fn_unit_annot = unit_annot_at st fn_line;
   }
 
 let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* Record fields declared by one type declaration: (name, line) pairs,
+   so unit annotations can attach by line. *)
+let record_fields_of_decls decls =
+  List.concat_map
+    (fun d ->
+      match d.Parsetree.ptype_kind with
+      | Parsetree.Ptype_record labels ->
+          List.map
+            (fun ld ->
+              ( ld.Parsetree.pld_name.Location.txt,
+                line_of_loc ld.Parsetree.pld_loc ))
+            labels
+      | _ -> [])
+    decls
 
 (* First pass: module-level opens, aliases, value names and mutable
    allocations, recursing into inline submodule structures. *)
@@ -1150,6 +1420,13 @@ let rec collect_scaffolding st items =
   List.iter
     (fun item ->
       match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_type (_, decls) ->
+          List.iter
+            (fun (fname, fline) ->
+              match unit_annot_at st fline with
+              | Some u -> st.st_fields <- (fname, u) :: st.st_fields
+              | None -> ())
+            (record_fields_of_decls decls)
       | Parsetree.Pstr_open od -> (
           match od.Parsetree.popen_expr.Parsetree.pmod_desc with
           | Parsetree.Pmod_ident { txt; _ } ->
@@ -1238,6 +1515,14 @@ let mli_vals_of_signature signature =
       | _ -> None)
     signature
 
+let mli_fields_of_signature signature =
+  List.concat_map
+    (fun item ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_type (_, decls) -> record_fields_of_decls decls
+      | _ -> [])
+    signature
+
 let extract ~rel content =
   let rel = Mppm_lint.Engine.normalize_rel rel in
   let is_mli = Filename.check_suffix rel ".mli" in
@@ -1256,6 +1541,8 @@ let extract ~rel content =
       fns = [];
       refs = [];
       mli_vals = [];
+      val_units = [];
+      field_units = [];
       rng_creates = [];
       float_accums = [];
       toplevel_muts = [];
@@ -1265,7 +1552,23 @@ let extract ~rel content =
   in
   if is_mli then
     match Astparse.interface ~filename:rel content with
-    | Some signature -> { base with mli_vals = mli_vals_of_signature signature }
+    | Some signature ->
+        let units = lx.Mppm_lint.Lexer.units in
+        let mli_vals = mli_vals_of_signature signature in
+        let attach items =
+          List.filter_map
+            (fun (name, line) ->
+              match unit_annot_near units line with
+              | Some u -> Some (name, u)
+              | None -> None)
+            items
+        in
+        {
+          base with
+          mli_vals;
+          val_units = attach mli_vals;
+          field_units = attach (mli_fields_of_signature signature);
+        }
     | None -> { base with parse_failed = true }
   else
     match Astparse.implementation ~filename:rel content with
@@ -1282,6 +1585,8 @@ let extract ~rel content =
             st_accums = [];
             st_hots = lx.Mppm_lint.Lexer.hots;
             st_colds = lx.Mppm_lint.Lexer.colds;
+            st_units = lx.Mppm_lint.Lexer.units;
+            st_fields = [];
           }
         in
         collect_scaffolding st structure;
@@ -1292,6 +1597,7 @@ let extract ~rel content =
           aliases = st.st_aliases;
           fns = List.rev st.st_fns;
           refs = List.sort_uniq compare st.st_refs;
+          field_units = List.rev st.st_fields;
           rng_creates = List.rev st.st_creates;
           float_accums = List.rev st.st_accums;
           toplevel_muts = List.rev st.st_topmuts;

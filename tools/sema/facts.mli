@@ -69,6 +69,47 @@ type perf_site = {
     findings when {!Hotpath} proves the function reachable from a
     [(* mppm: hot *)] root. *)
 
+type uop = U_add | U_sub | U_mul | U_div | U_minmax | U_cmp | U_rem
+(** Arithmetic heads the unit algebra understands: additive ops require
+    equal dimensions, [U_mul]/[U_div] compose and cancel them,
+    [U_minmax]/[U_cmp]/[U_rem] require equal dimensions without changing
+    them. *)
+
+(** A serializable unit-relevant skeleton of an expression, extracted
+    once per file and evaluated by {!Units} with a cross-module
+    environment.  Conversion is lossy by design: shapes the unit algebra
+    cannot reason about collapse to {!U_opaque} (which poisons inference
+    and never produces a finding) or to containers whose children are
+    still checked. *)
+type uexpr =
+  | U_opaque  (** unknown value: never produces a finding *)
+  | U_const  (** literal or nullary constructor: unifies with anything *)
+  | U_ident of string list  (** alias-expanded value path *)
+  | U_field of string  (** record projection, by trailing field name *)
+  | U_apply of {
+      ua_path : string list;
+          (** callee path, [[]] when the head is computed *)
+      ua_args : (string option * uexpr) list;  (** (label, argument) *)
+      ua_line : int;
+    }
+  | U_arith of { uo_op : uop; uo_lhs : uexpr; uo_rhs : uexpr; uo_line : int }
+  | U_branch of uexpr list  (** if/match arms: result is the join *)
+  | U_let of {
+      ul_name : string;
+      ul_rhs : uexpr;
+      ul_body : uexpr;
+      ul_line : int;
+    }
+  | U_fun of { uf_params : (string option * string) list; uf_body : uexpr }
+  | U_seq of uexpr * uexpr  (** first checked, second is the value *)
+  | U_stmt of uexpr list  (** unit-typed container: checked, result free *)
+  | U_block of uexpr list  (** opaque container: checked, result unknown *)
+  | U_record of { ur_fields : (string * uexpr) list; ur_line : int }
+      (** record construction: each field expression is checked against
+          the field's declared or conventional unit *)
+  | U_setfield of { us_field : string; us_rhs : uexpr; us_line : int }
+      (** [t.f <- e]: [e] is checked against [f]'s unit *)
+
 type fn = {
   fn_name : string;  (** top-level binding name, or ["(init:<line>)"] *)
   fn_line : int;
@@ -117,6 +158,15 @@ type fn = {
   loop_calls : string list list;
       (** value paths referenced inside loops — the propagation edges of
           an annotated root whose hot region is its loops *)
+  fn_uparams : (string option * string) list;
+      (** every parameter in binding order: [(label, name)] *)
+  fn_ubody : uexpr;
+      (** unit skeleton of the body with parameters stripped; the {!Units}
+          pass evaluates it to infer the result unit and check every
+          arithmetic / call / record-construction site *)
+  fn_unit_annot : string option;
+      (** the [(* mppm: unit ... *)] annotation on the binding's line, the
+          line above, or two above (stacking with a hot marker) *)
 }
 
 type rng_create = {
@@ -143,6 +193,12 @@ type t = {
   fns : fn list;
   refs : string list list;  (** every value path referenced in the file *)
   mli_vals : (string * int) list;  (** [.mli] [val] items: [(name, line)] *)
+  val_units : (string * string) list;
+      (** [(val name, unit annotation)] for each [.mli] item carrying a
+          [(* mppm: unit ... *)] comment on its line or the line above *)
+  field_units : (string * string) list;
+      (** [(record field, unit annotation)] pairs from the file's type
+          declarations (both layers of a [.ml]/[.mli] pair contribute) *)
   rng_creates : rng_create list;
   float_accums : float_accum list;
   toplevel_muts : (string * string * int) list;

@@ -21,6 +21,7 @@ type report = {
   fallbacks : int;
   summaries : (string * string * string) list;
   hot : Hotpath.entry list;
+  units : Units.analysis;
 }
 
 let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
@@ -140,11 +141,13 @@ let analyze ?cache_file ~dunes inputs =
       ~files:(List.map (fun (f : Facts.t) -> f.Facts.rel) facts_list)
   in
   let table = Effects.build env facts_list in
+  let units = Units.analyze env facts_list in
   let raw =
     Effects.check table
     @ Seedflow.check facts_list
     @ Purity.check table facts_list
     @ Hotpath.check env facts_list
+    @ units.Units.u_diags
     @ s3 facts_list
     @ s4 env facts_list
   in
@@ -173,6 +176,7 @@ let analyze ?cache_file ~dunes inputs =
     fallbacks = !fallbacks;
     summaries = Effects.summaries table;
     hot = Hotpath.analyze env facts_list;
+    units;
   }
 
 let analyze_tree ?cache_file ~root () =

@@ -27,6 +27,9 @@ type report = {
       (** [(file, function, effects)] transitive effect summaries *)
   hot : Hotpath.entry list;
       (** ranked hot-function inventory (the [--report hot] payload) *)
+  units : Units.analysis;
+      (** unit-inference outcome: coverage map ([--report units]),
+          per-function classes and the [--fix] annotation suggestions *)
 }
 (** The outcome of one analysis run. *)
 
