@@ -7,12 +7,17 @@
      simulate             detailed multi-core simulation of a mix
      compare              predict + simulate + error report for a mix
      population           combinatorics of the mix population
-     rank-configs         rank the six LLC configs with MPPM
+     rank                 rank the six LLC configs with MPPM
      cache                profile-cache statistics and pruning
      trace-report         render a recorded model event trace
+     client               send queries to a running mppmd daemon
 
    Every subcommand shares the scale/seed/cache options, so a profile
    computed once (or by the bench harness) is reused everywhere.
+
+   Mix parsing, output rendering and the predict/compare/rank handlers
+   live in Mppm_serve.Dispatch, shared with the mppmd daemon — which is
+   why daemon responses are byte-identical to this CLI's output.
 
    This file owns all trace *file* writers (JSONL and Chrome trace JSON):
    lib/obs only serializes events to strings, so the model core never
@@ -24,8 +29,9 @@ module Profile = Mppm_profile.Profile
 module Model = Mppm_core.Model
 module Metrics = Mppm_core.Metrics
 module Mix = Mppm_workload.Mix
-module Sampler = Mppm_workload.Sampler
 module Pool = Mppm_pool.Pool
+module Wire = Mppm_serve.Wire
+module Dispatch = Mppm_serve.Dispatch
 open Mppm_experiments
 
 let std = Format.std_formatter
@@ -72,17 +78,12 @@ let mix_arg =
            comma-separated mix and they are evaluated as a batch (see \
            --jobs).")
 
-(* Plain names form one mix; comma syntax makes each argument a mix of
-   its own ("a,b,c,d e,f,g,h" is two quad-core mixes). *)
+(* Comma semantics and validation live in Dispatch.parse_mixes; here a
+   bad mix is a fatal CLI error (one stderr line, exit 2). *)
 let parse_mixes names =
-  if List.exists (fun s -> String.contains s ',') names then
-    List.map
-      (fun s ->
-        Mix.of_names
-          (Array.of_list
-             (List.filter (fun x -> x <> "") (String.split_on_char ',' s))))
-      names
-  else [ Mix.of_names (Array.of_list names) ]
+  match Dispatch.parse_mixes names with
+  | Result.Ok mixes -> mixes
+  | Result.Error (_, msg) -> failwith msg
 
 let jobs_term =
   Arg.(
@@ -226,18 +227,6 @@ let profile_cmd =
 
 (* ---- predict / simulate / compare ----------------------------------- *)
 
-let pp_predicted result =
-  Format.fprintf std "MPPM prediction (%d iterations):@."
-    result.Model.iterations;
-  Array.iter
-    (fun p ->
-      Format.fprintf std
-        "  %-12s slowdown %5.3f  CPI %6.3f -> %6.3f@." p.Model.name
-        p.Model.slowdown p.Model.cpi_single p.Model.cpi_multi)
-    result.Model.programs;
-  Format.fprintf std "  STP %.3f   ANTT %.3f@." result.Model.stp
-    result.Model.antt
-
 let predict_cmd =
   let run common trace verbose jobs names =
     let mixes = parse_mixes names in
@@ -245,15 +234,7 @@ let predict_cmd =
       eval_mixes trace jobs mixes (fun ~obs mix ->
           Context.predict ~obs common.ctx ~llc_config:common.llc_config mix)
     in
-    let many = Array.length results > 1 in
-    Array.iteri
-      (fun i result ->
-        if many then
-          Format.fprintf std "%s== mix %s ==@."
-            (if i > 0 then "\n" else "")
-            (Mix.to_string (List.nth mixes i));
-        pp_predicted result)
-      results;
+    Dispatch.pp_batch Dispatch.pp_predicted ~mixes std results;
     if verbose then pp_cache_counters ()
   in
   Cmd.v
@@ -265,21 +246,16 @@ let predict_cmd =
     Term.(const run $ common_term $ trace_term $ verbose_term $ jobs_term
           $ mix_arg)
 
-let pp_measured (m : Context.measured) =
-  Format.fprintf std "detailed simulation:@.";
-  Array.iteri
-    (fun i p ->
-      Format.fprintf std "  %-12s slowdown %5.3f  CPI %6.3f -> %6.3f@."
-        p.Mppm_multicore.Multi_core.name m.Context.m_slowdowns.(i)
-        m.Context.m_cpi_single.(i) m.Context.m_cpi_multi.(i))
-    m.Context.m_detail.Mppm_multicore.Multi_core.programs;
-  Format.fprintf std "  STP %.3f   ANTT %.3f@." m.Context.m_stp
-    m.Context.m_antt
-
 let simulate_cmd =
   let run common names =
-    let mix = Mix.of_names (Array.of_list names) in
-    pp_measured (Context.detailed common.ctx ~llc_config:common.llc_config mix)
+    match parse_mixes names with
+    | [ mix ] ->
+        Dispatch.pp_measured std
+          (Context.detailed common.ctx ~llc_config:common.llc_config mix)
+    | _ ->
+        failwith
+          "Mppm.simulate: one mix only (no comma batches; use compare for \
+           batch runs)"
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -299,20 +275,7 @@ let compare_cmd =
           in
           (predicted, measured))
     in
-    let many = Array.length results > 1 in
-    Array.iteri
-      (fun i (predicted, measured) ->
-        if many then
-          Format.fprintf std "%s== mix %s ==@."
-            (if i > 0 then "\n" else "")
-            (Mix.to_string (List.nth mixes i));
-        pp_predicted predicted;
-        pp_measured measured;
-        let err p m = 100.0 *. abs_float (p -. m) /. m in
-        Format.fprintf std "errors: STP %.1f%%  ANTT %.1f%%@."
-          (err predicted.Model.stp measured.Context.m_stp)
-          (err predicted.Model.antt measured.Context.m_antt))
-      results;
+    Dispatch.pp_batch Dispatch.pp_comparison ~mixes std results;
     if verbose then pp_cache_counters ()
   in
   Cmd.v
@@ -341,44 +304,35 @@ let population_cmd =
        ~doc:"Count the multi-program workload population (Sec. 1).")
     Term.(const run $ cores)
 
-(* ---- rank-configs ----------------------------------------------------- *)
+(* ---- rank ------------------------------------------------------------ *)
 
-let rank_cmd =
-  let run common cores count =
-    let rng = Context.rng common.ctx "cli-rank" in
-    let mixes = Sampler.random_mixes rng ~cores ~count in
-    Format.fprintf std
-      "ranking LLC configs by mean MPPM-predicted STP over %d %d-core mixes@."
-      count cores;
-    let means =
-      Array.map
-        (fun cfg ->
-          let stps =
-            Array.map
-              (fun mix -> (Context.predict common.ctx ~llc_config:cfg mix).Model.stp)
-              mixes
-          in
-          (cfg, Mppm_util.Stats.mean stps))
-        (Array.init Mppm_cache.Configs.llc_config_count (fun i -> i + 1))
-    in
-    let order = Array.copy means in
-    Array.sort (fun (_, a) (_, b) -> compare b a) order;
-    Array.iteri
-      (fun rank (cfg, stp) ->
-        Format.fprintf std "  %d. config #%d  mean STP %.3f@." (rank + 1) cfg
-          stp)
-      order
-  in
+(* The same handler the daemon runs: rank requests go through
+   Dispatch.handle, so CLI output and mppmd responses cannot drift. *)
+let rank_run common cores count =
+  match Dispatch.handle common.ctx (Wire.Rank { cores; count }) with
+  | Wire.Output text -> Format.fprintf std "%s%!" text
+  | Wire.Error { message; _ } -> failwith message
+  | Wire.Counters _ -> failwith "Mppm.rank: unexpected counters response"
+
+let rank_term =
   let cores =
     Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Programs per mix.")
   in
   let count =
     Arg.(value & opt int 500 & info [ "mixes" ] ~doc:"Number of mixes.")
   in
+  Term.(const rank_run $ common_term $ cores $ count)
+
+let rank_cmd =
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank the Table 2 LLC configurations with MPPM.")
+    rank_term
+
+let rank_configs_cmd =
   Cmd.v
     (Cmd.info "rank-configs"
-       ~doc:"Rank the Table 2 LLC configurations with MPPM.")
-    Term.(const run $ common_term $ cores $ count)
+       ~doc:"Alias of $(b,rank), kept for older scripts.")
+    rank_term
 
 (* ---- categories -------------------------------------------------------- *)
 
@@ -659,6 +613,177 @@ let trace_report_cmd =
           convergence table plus R_p trajectory plot.")
     Term.(const run $ path)
 
+(* ---- client ---------------------------------------------------------- *)
+
+(* Thin wire client for a running mppmd: frame one request, read one
+   framed response, print it.  All interpretation (mix parsing, config
+   validation) happens daemon-side, so errors come back as structured
+   responses; the client renders them on stderr and exits 2. *)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      failwith (Printf.sprintf "Mppm.client: cannot resolve host %S" host))
+
+let connect_endpoint endpoint =
+  let addr, domain =
+    match endpoint with
+    | Wire.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Wire.Tcp { host; port } ->
+        (Unix.ADDR_INET (resolve_host host, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      failwith
+        (Printf.sprintf
+           "Mppm.client: cannot connect to %s: %s (is mppmd running?)"
+           (Wire.endpoint_to_string endpoint)
+           (Unix.error_message err))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_frame fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec fill need =
+    if Buffer.length buf < need then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then
+        failwith
+          "Mppm.client: connection closed mid-response (daemon died?)";
+      Buffer.add_subbytes buf chunk 0 n;
+      fill need
+    end
+  in
+  fill 4;
+  let len =
+    match Wire.frame_length (String.sub (Buffer.contents buf) 0 4) with
+    | Result.Ok len -> len
+    | Result.Error (_, msg) -> failwith msg
+  in
+  fill (4 + len);
+  String.sub (Buffer.contents buf) 4 len
+
+let client_roundtrip endpoint req =
+  let fd = connect_endpoint endpoint in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd (Wire.frame (Wire.encode_request req));
+      match Wire.decode_response (read_frame fd) with
+      | Result.Ok resp -> resp
+      | Result.Error (_, msg) -> failwith msg)
+
+let print_response = function
+  | Wire.Output text -> Format.fprintf std "%s%!" text
+  | Wire.Counters kvs ->
+      List.iter (fun (name, v) -> Format.fprintf std "%-40s %g@." name v) kvs
+  | Wire.Error { code; message } ->
+      prerr_endline
+        (Printf.sprintf "mppm: %s [%s]" message
+           (Wire.error_code_to_string code));
+      exit 2
+
+let connect_term =
+  let parse s =
+    match Wire.endpoint_of_string s with
+    | Result.Ok ep -> Ok ep
+    | Result.Error msg -> Error (`Msg msg)
+  in
+  let endpoint_conv =
+    Arg.conv
+      ( parse,
+        fun ppf ep -> Format.pp_print_string ppf (Wire.endpoint_to_string ep)
+      )
+  in
+  Arg.(
+    value
+    & opt endpoint_conv (Wire.Unix_socket "mppmd.sock")
+    & info [ "connect" ] ~docv:"ENDPOINT"
+        ~doc:
+          "The mppmd endpoint: $(b,unix:PATH) or $(b,tcp:HOST:PORT) \
+           (default $(b,unix:mppmd.sock)).")
+
+let client_config_term =
+  Arg.(
+    value & opt int 1
+    & info [ "config" ] ~doc:"LLC configuration, 1..6 (Table 2).")
+
+let client_predict_cmd =
+  let run endpoint llc_config names =
+    print_response
+      (client_roundtrip endpoint (Wire.Predict { names; llc_config }))
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Ask the daemon for an MPPM prediction.  Output is byte-identical \
+          to $(b,mppm predict) with the daemon's scale options.")
+    Term.(const run $ connect_term $ client_config_term $ mix_arg)
+
+let client_compare_cmd =
+  let run endpoint llc_config names =
+    print_response
+      (client_roundtrip endpoint (Wire.Compare { names; llc_config }))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Ask the daemon for a predict + simulate + error report.")
+    Term.(const run $ connect_term $ client_config_term $ mix_arg)
+
+let client_rank_cmd =
+  let run endpoint cores count =
+    print_response (client_roundtrip endpoint (Wire.Rank { cores; count }))
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Programs per mix.")
+  in
+  let count =
+    Arg.(value & opt int 500 & info [ "mixes" ] ~doc:"Number of mixes.")
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Ask the daemon to rank the Table 2 LLC configurations.")
+    Term.(const run $ connect_term $ cores $ count)
+
+let client_stats_cmd =
+  let run endpoint = print_response (client_roundtrip endpoint Wire.Stats) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the daemon's serve/pool/profile-cache registry counters.")
+    Term.(const run $ connect_term)
+
+let client_shutdown_cmd =
+  let run endpoint =
+    print_response (client_roundtrip endpoint Wire.Shutdown)
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to exit cleanly.")
+    Term.(const run $ connect_term)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Query a running mppmd daemon over its socket (see \
+          docs/service.md).")
+    [
+      client_predict_cmd; client_compare_cmd; client_rank_cmd;
+      client_stats_cmd; client_shutdown_cmd;
+    ]
+
 (* ---- main ------------------------------------------------------------ *)
 
 let () =
@@ -672,8 +797,9 @@ let () =
          (Cmd.group (Cmd.info "mppm" ~doc)
             [
               suite_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-              population_cmd; rank_cmd; categories_cmd; cache_cmd;
-              trace_record_cmd; trace_stats_cmd; trace_report_cmd;
+              population_cmd; rank_cmd; rank_configs_cmd; categories_cmd;
+              cache_cmd; trace_record_cmd; trace_stats_cmd; trace_report_cmd;
+              client_cmd;
             ]))
   with
   | Failure msg ->

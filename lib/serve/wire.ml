@@ -1,0 +1,376 @@
+(* Versioned length-prefixed wire codec for the mppmd prediction service.
+
+   Pure string/bytes manipulation: the socket (and any other channel) is
+   owned by the caller, so this unit stays inside the lib/ I/O containment
+   rule (S1).  Decoding is total — every malformed shape maps to a
+   structured (error_code, message) pair instead of an exception, which is
+   what lets the daemon answer garbage with an error response rather than
+   closing the connection. *)
+
+let protocol_version = 1
+let max_frame_bytes = 16 * 1024 * 1024
+
+(* ---- endpoints ------------------------------------------------------- *)
+
+type endpoint = Unix_socket of string | Tcp of { host : string; port : int }
+
+let endpoint_syntax = "expected \"unix:PATH\" or \"tcp:HOST:PORT\""
+
+let endpoint_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then
+        Result.Error
+          (Printf.sprintf "Wire.endpoint_of_string: empty socket path in %S" s)
+      else Result.Ok (Unix_socket path)
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let port_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port_s with
+          | Some port when host <> "" && port > 0 && port < 65536 ->
+              Result.Ok (Tcp { host; port })
+          | _ ->
+              Result.Error
+                (Printf.sprintf
+                   "Wire.endpoint_of_string: bad host/port in %S (%s)" s
+                   endpoint_syntax))
+      | None ->
+          Result.Error
+            (Printf.sprintf "Wire.endpoint_of_string: missing port in %S (%s)"
+               s endpoint_syntax))
+  | _ ->
+      Result.Error
+        (Printf.sprintf "Wire.endpoint_of_string: cannot parse %S (%s)" s
+           endpoint_syntax)
+
+let endpoint_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- message types --------------------------------------------------- *)
+
+type error_code =
+  | Bad_frame
+  | Bad_version
+  | Bad_request
+  | Bad_response
+  | Unknown_benchmark
+  | Internal
+
+let error_code_to_string = function
+  | Bad_frame -> "bad_frame"
+  | Bad_version -> "bad_version"
+  | Bad_request -> "bad_request"
+  | Bad_response -> "bad_response"
+  | Unknown_benchmark -> "unknown_benchmark"
+  | Internal -> "internal"
+
+let error_code_to_int = function
+  | Bad_frame -> 1
+  | Bad_version -> 2
+  | Bad_request -> 3
+  | Bad_response -> 4
+  | Unknown_benchmark -> 5
+  | Internal -> 6
+
+let error_code_of_int = function
+  | 1 -> Some Bad_frame
+  | 2 -> Some Bad_version
+  | 3 -> Some Bad_request
+  | 4 -> Some Bad_response
+  | 5 -> Some Unknown_benchmark
+  | 6 -> Some Internal
+  | _ -> None
+
+type request =
+  | Predict of { names : string list; llc_config : int }
+  | Compare of { names : string list; llc_config : int }
+  | Rank of { cores : int; count : int }
+  | Stats
+  | Shutdown
+
+type response =
+  | Output of string
+  | Counters of (string * float) list
+  | Error of { code : error_code; message : string }
+
+let equal_request a b =
+  match (a, b) with
+  | Predict a, Predict b ->
+      a.names = b.names && a.llc_config = b.llc_config
+  | Compare a, Compare b ->
+      a.names = b.names && a.llc_config = b.llc_config
+  | Rank a, Rank b -> a.cores = b.cores && a.count = b.count
+  | Stats, Stats | Shutdown, Shutdown -> true
+  | _ -> false
+
+let equal_response a b =
+  match (a, b) with
+  | Output a, Output b -> String.equal a b
+  | Counters a, Counters b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (na, va) (nb, vb) ->
+             String.equal na nb
+             && Int64.equal (Int64.bits_of_float va) (Int64.bits_of_float vb))
+           a b
+  | Error a, Error b -> a.code = b.code && String.equal a.message b.message
+  | _ -> false
+
+(* ---- encoding -------------------------------------------------------- *)
+
+(* Caps enforced by the decoder (and respected by well-formed encoders):
+   a mix-name list and a counter snapshot both stay tiny in practice, so
+   a hostile count field cannot drive allocation. *)
+let max_list_entries = 4096
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let tag_of_request = function
+  | Predict _ -> 1
+  | Compare _ -> 2
+  | Rank _ -> 3
+  | Stats -> 4
+  | Shutdown -> 5
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  put_u8 b protocol_version;
+  put_u8 b (tag_of_request req);
+  (match req with
+  | Predict { names; llc_config } | Compare { names; llc_config } ->
+      put_u32 b llc_config;
+      put_u32 b (List.length names);
+      List.iter (put_string b) names
+  | Rank { cores; count } ->
+      put_u32 b cores;
+      put_u32 b count
+  | Stats | Shutdown -> ());
+  Buffer.contents b
+
+let encode_response resp =
+  let b = Buffer.create 256 in
+  put_u8 b protocol_version;
+  (match resp with
+  | Output text ->
+      put_u8 b 1;
+      put_string b text
+  | Counters kvs ->
+      put_u8 b 2;
+      put_u32 b (List.length kvs);
+      List.iter
+        (fun (name, v) ->
+          put_string b name;
+          put_f64 b v)
+        kvs
+  | Error { code; message } ->
+      put_u8 b 3;
+      put_u8 b (error_code_to_int code);
+      put_string b message);
+  Buffer.contents b
+
+(* ---- decoding -------------------------------------------------------- *)
+
+(* Total decoding over a cursor: every read is bounds-checked and failures
+   carry the offset, so a truncated or lying length field surfaces as a
+   precise message instead of an exception or over-read. *)
+
+exception Malformed of error_code * string
+
+type cursor = { data : string; mutable pos : int }
+
+let need ~what cur n =
+  if cur.pos + n > String.length cur.data then
+    raise
+      (Malformed
+         ( Bad_frame,
+           Printf.sprintf
+             "Wire: truncated payload: need %d byte(s) for %s at offset %d \
+              but only %d remain"
+             n what cur.pos
+             (String.length cur.data - cur.pos) ))
+
+let get_u8 ~what cur =
+  need ~what cur 1;
+  let v = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let get_u32 ~what cur =
+  need ~what cur 4;
+  let byte i = Char.code cur.data.[cur.pos + i] in
+  let v = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  cur.pos <- cur.pos + 4;
+  v
+
+let get_string ~what cur =
+  let len = get_u32 ~what:(what ^ " length") cur in
+  if len > max_frame_bytes then
+    raise
+      (Malformed
+         ( Bad_frame,
+           Printf.sprintf "Wire: %s length %d exceeds the %d-byte frame cap"
+             what len max_frame_bytes ));
+  need ~what cur len;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let get_f64 ~what cur =
+  need ~what cur 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code cur.data.[cur.pos + i]))
+  done;
+  cur.pos <- cur.pos + 8;
+  Int64.float_of_bits !bits
+
+let get_count ~what cur =
+  let n = get_u32 ~what cur in
+  if n > max_list_entries then
+    raise
+      (Malformed
+         ( Bad_frame,
+           Printf.sprintf "Wire: %s count %d exceeds the %d-entry cap" what n
+             max_list_entries ));
+  n
+
+let get_list ~what cur read =
+  let n = get_count ~what cur in
+  List.init n (fun _ -> read cur)
+
+let check_version ~kind cur =
+  let v = get_u8 ~what:"version" cur in
+  if v <> protocol_version then
+    raise
+      (Malformed
+         ( Bad_version,
+           Printf.sprintf
+             "Wire: unsupported protocol version %d in %s (this build \
+              speaks version %d)"
+             v kind protocol_version ))
+
+let check_consumed ~kind cur =
+  if cur.pos <> String.length cur.data then
+    raise
+      (Malformed
+         ( Bad_frame,
+           Printf.sprintf "Wire: %d trailing byte(s) after a complete %s"
+             (String.length cur.data - cur.pos)
+             kind ))
+
+let decoding ~kind payload read =
+  let cur = { data = payload; pos = 0 } in
+  match
+    check_version ~kind cur;
+    let v = read cur in
+    check_consumed ~kind cur;
+    v
+  with
+  | v -> Result.Ok v
+  | exception Malformed (code, message) -> Result.Error (code, message)
+
+let decode_request payload =
+  decoding ~kind:"request" payload @@ fun cur ->
+  match get_u8 ~what:"request tag" cur with
+  | (1 | 2) as tag ->
+      let llc_config = get_u32 ~what:"llc config" cur in
+      let names = get_list ~what:"mix name" cur (get_string ~what:"name") in
+      if tag = 1 then Predict { names; llc_config }
+      else Compare { names; llc_config }
+  | 3 ->
+      let cores = get_u32 ~what:"cores" cur in
+      let count = get_u32 ~what:"count" cur in
+      Rank { cores; count }
+  | 4 -> Stats
+  | 5 -> Shutdown
+  | tag ->
+      raise
+        (Malformed
+           ( Bad_request,
+             Printf.sprintf "Wire: unknown request tag %d" tag ))
+
+let decode_response payload =
+  decoding ~kind:"response" payload @@ fun cur ->
+  match get_u8 ~what:"response tag" cur with
+  | 1 -> Output (get_string ~what:"output text" cur)
+  | 2 ->
+      Counters
+        (get_list ~what:"counter" cur (fun cur ->
+             let name = get_string ~what:"counter name" cur in
+             let v = get_f64 ~what:"counter value" cur in
+             (name, v)))
+  | 3 ->
+      let code_int = get_u8 ~what:"error code" cur in
+      let code =
+        match error_code_of_int code_int with
+        | Some c -> c
+        | None ->
+            raise
+              (Malformed
+                 ( Bad_response,
+                   Printf.sprintf "Wire: unknown error code %d" code_int ))
+      in
+      let message = get_string ~what:"error message" cur in
+      Error { code; message }
+  | tag ->
+      raise
+        (Malformed
+           ( Bad_response,
+             Printf.sprintf "Wire: unknown response tag %d" tag ))
+
+(* ---- framing --------------------------------------------------------- *)
+
+let frame payload =
+  let len = String.length payload in
+  if len < 2 || len > max_frame_bytes then
+    invalid_arg
+      (Printf.sprintf "Wire.frame: payload of %d bytes (valid range 2..%d)"
+         len max_frame_bytes);
+  let b = Buffer.create (len + 4) in
+  put_u32 b len;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let frame_length prefix =
+  if String.length prefix < 4 then
+    Result.Error
+      ( Bad_frame,
+        Printf.sprintf
+          "Wire: short length prefix (%d byte(s), frames start with 4)"
+          (String.length prefix) )
+  else
+    let byte i = Char.code prefix.[i] in
+    let len =
+      (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+    in
+    if len < 2 || len > max_frame_bytes then
+      Result.Error
+        ( Bad_frame,
+          Printf.sprintf
+            "Wire: announced payload of %d bytes lies outside 2..%d" len
+            max_frame_bytes )
+    else Result.Ok len

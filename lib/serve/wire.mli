@@ -1,0 +1,126 @@
+(** The mppmd wire protocol: a versioned, length-prefixed request/response
+    codec.
+
+    Everything here is pure string/bytes manipulation — no sockets, no
+    channels — so the daemon ([bin/mppmd]), the CLI client ([mppm client])
+    and the load generator ([tools/loadgen.exe]) share one codec while all
+    I/O stays out of lib/ (see docs/service.md for the protocol
+    specification).
+
+    {2 Frame layout}
+
+    Every message travels as one frame:
+
+    {v
+    +----------------+---------+-----+------------------+
+    | length (u32 BE)| version | tag | body ...         |
+    +----------------+---------+-----+------------------+
+         4 bytes        1 byte  1 byte   length - 2 bytes
+    v}
+
+    The length covers the payload (version byte included, itself
+    excluded) and must lie in [2 .. max_frame_bytes].  Integers are
+    big-endian; strings are a u32 byte length followed by the bytes;
+    floats are the 8 IEEE-754 bytes of [Int64.bits_of_float],
+    big-endian.  Decoding never raises: malformed input comes back as an
+    {!error_code} plus a human-readable message, so a server can answer
+    with a structured {!response} error instead of closing the
+    connection. *)
+
+val protocol_version : int
+(** The protocol version this build speaks (currently 1).  Encoders stamp
+    it into every payload; decoders reject any other value with
+    {!Bad_version}. *)
+
+val max_frame_bytes : int
+(** Upper bound on a payload (16 MiB).  {!frame} refuses to build larger
+    frames and {!frame_length} rejects larger announcements, so a corrupt
+    or hostile length prefix cannot make a peer allocate unboundedly. *)
+
+(** Where a daemon listens: a Unix-domain socket path or a TCP host/port. *)
+type endpoint = Unix_socket of string | Tcp of { host : string; port : int }
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** Parses ["unix:PATH"] or ["tcp:HOST:PORT"] (the form taken by
+    [--connect] and [--listen] flags).  The error message spells out both
+    accepted forms. *)
+
+val endpoint_to_string : endpoint -> string
+(** Renders an endpoint back to the [--connect] syntax accepted by
+    {!endpoint_of_string} (round-trips exactly). *)
+
+(** Structured failure classes carried by error responses.  [Bad_frame]
+    covers framing-layer damage (bad length prefix, truncated payload),
+    [Bad_version] a well-framed payload of a protocol version this build
+    does not speak, [Bad_request]/[Bad_response] a payload that frames and
+    versions correctly but does not decode, [Unknown_benchmark] a mix
+    naming a benchmark outside the suite, and [Internal] a server-side
+    failure while handling a well-formed request. *)
+type error_code =
+  | Bad_frame
+  | Bad_version
+  | Bad_request
+  | Bad_response
+  | Unknown_benchmark
+  | Internal
+
+val error_code_to_string : error_code -> string
+(** Stable lower-snake names (["bad_frame"], ...) for logs and client
+    error lines. *)
+
+(** One client query.  [Predict]/[Compare] carry the benchmark-name
+    arguments exactly as the one-shot CLI takes them (comma syntax makes
+    each argument its own mix, plain names form one mix), plus the Table 2
+    LLC configuration; [Rank] asks for the LLC-config ranking over a
+    freshly sampled population; [Stats] reads the daemon's counters;
+    [Shutdown] asks the daemon to exit after replying. *)
+type request =
+  | Predict of { names : string list; llc_config : int }
+  | Compare of { names : string list; llc_config : int }
+  | Rank of { cores : int; count : int }
+  | Stats
+  | Shutdown
+
+(** One server answer.  [Output] carries rendered text, byte-identical to
+    what the one-shot CLI prints for the same query; [Counters] a sorted
+    name/value snapshot of the daemon's {!Mppm_obs.Registry} metrics;
+    [Error] a structured failure that leaves the connection usable. *)
+type response =
+  | Output of string
+  | Counters of (string * float) list
+  | Error of { code : error_code; message : string }
+
+val equal_request : request -> request -> bool
+(** Structural equality (used by the round-trip tests). *)
+
+val equal_response : response -> response -> bool
+(** Structural equality; counter values compare bitwise
+    ([Int64.bits_of_float]), which is exactly what the codec preserves. *)
+
+val encode_request : request -> string
+(** The payload (version byte onward) for a request; wrap with {!frame}
+    before writing to a socket. *)
+
+val decode_request : string -> (request, error_code * string) result
+(** Decodes a payload produced by {!encode_request}.  Never raises:
+    truncated bodies, oversized counts, unknown tags and foreign versions
+    come back as [(code, message)]. *)
+
+val encode_response : response -> string
+(** The payload for a response; wrap with {!frame}. *)
+
+val decode_response : string -> (response, error_code * string) result
+(** Decodes a payload produced by {!encode_response}; same error contract
+    as {!decode_request}. *)
+
+val frame : string -> string
+(** [frame payload] prepends the 4-byte big-endian length.  Raises
+    [Invalid_argument] if the payload is empty or exceeds
+    {!max_frame_bytes} (servers never build such payloads; the guard is
+    for codec misuse, not remote input). *)
+
+val frame_length : string -> (int, error_code * string) result
+(** [frame_length prefix] reads a 4-byte length prefix and validates the
+    bounds ([2 .. max_frame_bytes]), so a reader knows how many payload
+    bytes to expect.  Rejects short prefixes and out-of-range lengths
+    with {!Bad_frame}. *)

@@ -1,0 +1,377 @@
+(* loadgen: a load harness for the mppmd prediction daemon.
+
+   Replays a seeded stream of predict queries (random mixes drawn through
+   Mppm_util.Rng, so the query set is a pure function of --seed) against a
+   running daemon at a configurable concurrency, and reports the latency
+   distribution (p50/p90/p99 through Mppm_obs.Histogram) plus sustained
+   queries/sec.
+
+   Correctness harness as much as a throughput one: --check verifies that
+   every repetition of the same mix got a byte-identical response whatever
+   interleaving the daemon saw, and any error response fails the run.
+   --print-queries emits the query mixes without touching the network, so
+   a CI job can replay the exact same stream through the one-shot CLI and
+   diff the bytes (see .github/workflows/ci.yml, service-smoke). *)
+
+module Wire = Mppm_serve.Wire
+module Rng = Mppm_util.Rng
+module Suite = Mppm_trace.Suite
+module Histogram = Mppm_obs.Histogram
+
+(* ---- query stream ---------------------------------------------------- *)
+
+(* Mix i is drawn from its own split so the stream is stable under
+   changes to how many draws one query makes. *)
+let query_mixes ~seed ~queries ~cores =
+  let rng = Rng.create ~seed in
+  Array.init queries (fun _ ->
+      let r = Rng.split rng in
+      Array.to_list (Array.init cores (fun _ -> Rng.pick r Suite.names)))
+
+(* ---- networking ------------------------------------------------------ *)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      failwith (Printf.sprintf "loadgen: cannot resolve host %S" host))
+
+let connect_endpoint endpoint =
+  let addr, domain =
+    match endpoint with
+    | Wire.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Wire.Tcp { host; port } ->
+        (Unix.ADDR_INET (resolve_host host, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      failwith
+        (Printf.sprintf "loadgen: cannot connect to %s: %s (is mppmd \
+                         running?)"
+           (Wire.endpoint_to_string endpoint)
+           (Unix.error_message err))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* ---- the client loop ------------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  mutable inbox : string;
+  mutable query : int;     (* index of the in-flight query, -1 = idle *)
+  mutable sent_at : float;
+}
+
+type outcome = { mix : string list; reply : Wire.response; latency : float }
+
+(* [concurrency] connections, each with one query in flight; the next
+   query is issued the moment a response completes, so the daemon always
+   sees up to [concurrency] outstanding requests. *)
+let run_stream endpoint mixes ~concurrency ~llc_config =
+  let total = Array.length mixes in
+  let outcomes = Array.make total None in
+  let next = ref 0 in
+  let clients =
+    Array.init (min concurrency (max total 1)) (fun _ ->
+        { fd = connect_endpoint endpoint; inbox = ""; query = -1;
+          sent_at = 0.0 })
+  in
+  let send c =
+    if !next < total then begin
+      let i = !next in
+      incr next;
+      c.query <- i;
+      c.sent_at <- Unix.gettimeofday ();
+      write_all c.fd
+        (Wire.frame
+           (Wire.encode_request
+              (Wire.Predict { names = mixes.(i); llc_config })))
+    end
+    else c.query <- -1
+  in
+  let complete c payload =
+    let latency = Unix.gettimeofday () -. c.sent_at in
+    let reply =
+      match Wire.decode_response payload with
+      | Result.Ok r -> r
+      | Result.Error (code, message) -> Wire.Error { code; message }
+    in
+    outcomes.(c.query) <- Some { mix = mixes.(c.query); reply; latency };
+    send c
+  in
+  let feed c =
+    let continue = ref true in
+    while !continue do
+      let data = c.inbox in
+      if String.length data < 4 then continue := false
+      else
+        match Wire.frame_length (String.sub data 0 4) with
+        | Result.Error (_, msg) -> failwith ("loadgen: " ^ msg)
+        | Result.Ok len ->
+            if String.length data < 4 + len then continue := false
+            else begin
+              c.inbox <-
+                String.sub data (4 + len) (String.length data - 4 - len);
+              complete c (String.sub data 4 len)
+            end
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter send clients;
+  let buf = Bytes.create 65536 in
+  let busy () =
+    Array.exists (fun c -> c.query >= 0) clients
+  in
+  while busy () do
+    let watched =
+      List.filter_map
+        (fun c -> if c.query >= 0 then Some c.fd else None)
+        (Array.to_list clients)
+    in
+    match Unix.select watched [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        Array.iter
+          (fun c ->
+            if c.query >= 0 && List.mem c.fd readable then begin
+              let n = Unix.read c.fd buf 0 (Bytes.length buf) in
+              if n = 0 then
+                failwith
+                  "loadgen: daemon closed the connection mid-stream";
+              c.inbox <- c.inbox ^ Bytes.sub_string buf 0 n;
+              feed c
+            end)
+          clients
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.iter
+    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    clients;
+  let outcomes =
+    Array.map
+      (function
+        | Some o -> o
+        | None -> failwith "loadgen: internal: query left unanswered")
+      outcomes
+  in
+  (outcomes, elapsed)
+
+(* ---- checking -------------------------------------------------------- *)
+
+(* Determinism check: the daemon may interleave queries any way it likes,
+   but two queries for the same mix must produce the same bytes, and no
+   query may fail. *)
+let check_outcomes outcomes =
+  let expected = Hashtbl.create ~random:false 64 in
+  let failures = ref 0 in
+  Array.iter
+    (fun { mix; reply; _ } ->
+      let key = String.concat "," mix in
+      match reply with
+      | Wire.Error { code; message } ->
+          incr failures;
+          Printf.eprintf "loadgen: query %s failed: %s [%s]\n" key message
+            (Wire.error_code_to_string code)
+      | Wire.Counters _ ->
+          incr failures;
+          Printf.eprintf "loadgen: query %s: unexpected counters response\n"
+            key
+      | Wire.Output text -> (
+          match Hashtbl.find_opt expected key with
+          | None -> Hashtbl.replace expected key text
+          | Some first ->
+              if not (String.equal first text) then begin
+                incr failures;
+                Printf.eprintf
+                  "loadgen: nondeterministic response for mix %s (%d vs %d \
+                   bytes)\n"
+                  key (String.length first) (String.length text)
+              end))
+    outcomes;
+  !failures
+
+(* ---- reporting ------------------------------------------------------- *)
+
+let make_histogram outcomes =
+  (* 1 us .. ~18 minutes in geometric steps; latencies live in seconds. *)
+  let h = Histogram.create_exponential ~first:1e-6 ~ratio:1.6 ~buckets:48 in
+  Array.iter (fun o -> Histogram.observe h o.latency) outcomes;
+  h
+
+let report_text ppf (h, elapsed, errors) =
+  let n = Histogram.count h in
+  let ms p = 1000.0 *. Histogram.quantile h p in
+  Format.fprintf ppf "loadgen: %.0f queries in %.2fs = %.1f qps@." n elapsed
+    (n /. elapsed);
+  Format.fprintf ppf
+    "latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  (min %.2fms  max %.2fms  \
+     mean %.2fms)@."
+    (ms 0.5) (ms 0.9) (ms 0.99)
+    (1000.0 *. Option.value (Histogram.min_value h) ~default:0.0)
+    (1000.0 *. Option.value (Histogram.max_value h) ~default:0.0)
+    (1000.0 *. Histogram.mean h);
+  if errors > 0 then
+    Format.fprintf ppf "errors: %d failed or nondeterministic quer%s@."
+      errors
+      (if errors = 1 then "y" else "ies")
+
+let report_json ppf (h, elapsed, errors) =
+  let n = Histogram.count h in
+  let ms p = 1000.0 *. Histogram.quantile h p in
+  Format.fprintf ppf
+    "{\"queries\": %.0f, \"seconds\": %.4f, \"qps\": %.2f, \"p50_ms\": \
+     %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, \"min_ms\": %.4f, \
+     \"max_ms\": %.4f, \"mean_ms\": %.4f, \"errors\": %d, \
+     \"bucket_counts\": [%s]}@."
+    n elapsed
+    (n /. elapsed)
+    (ms 0.5) (ms 0.9) (ms 0.99)
+    (1000.0 *. Option.value (Histogram.min_value h) ~default:0.0)
+    (1000.0 *. Option.value (Histogram.max_value h) ~default:0.0)
+    (1000.0 *. Histogram.mean h)
+    errors
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> Printf.sprintf "%.0f" c)
+             (Histogram.bucket_counts h))))
+
+(* ---- command line ---------------------------------------------------- *)
+
+open Cmdliner
+
+let endpoint_term =
+  let parse s =
+    match Wire.endpoint_of_string s with
+    | Result.Ok ep -> Ok ep
+    | Result.Error msg -> Error (`Msg msg)
+  in
+  let endpoint_conv =
+    Arg.conv
+      ( parse,
+        fun ppf ep -> Format.pp_print_string ppf (Wire.endpoint_to_string ep)
+      )
+  in
+  Arg.(
+    value
+    & opt endpoint_conv (Wire.Unix_socket "mppmd.sock")
+    & info [ "connect" ] ~docv:"ENDPOINT"
+        ~doc:"The mppmd endpoint: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+
+let run connect queries concurrency seed cores llc_config check json
+    print_queries min_qps =
+  if queries < 1 then failwith "loadgen: --queries must be at least 1";
+  if concurrency < 1 then failwith "loadgen: --concurrency must be at least 1";
+  if cores < 1 then failwith "loadgen: --cores must be at least 1";
+  let mixes = query_mixes ~seed ~queries ~cores in
+  if print_queries then
+    Array.iter (fun mix -> print_endline (String.concat "," mix)) mixes
+  else begin
+    let outcomes, elapsed = run_stream connect mixes ~concurrency ~llc_config in
+    let errors = if check then check_outcomes outcomes else 0 in
+    let h = make_histogram outcomes in
+    (match json with
+    | None -> report_text Format.std_formatter (h, elapsed, errors)
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            report_json (Format.formatter_of_out_channel oc)
+              (h, elapsed, errors));
+        report_text Format.std_formatter (h, elapsed, errors));
+    if errors > 0 then exit 1;
+    let qps = Histogram.count h /. elapsed in
+    if min_qps > 0.0 && qps < min_qps then begin
+      Printf.eprintf "loadgen: %.1f qps is below the --min-qps %.1f floor\n"
+        qps min_qps;
+      exit 1
+    end
+  end
+
+let cmd =
+  let queries =
+    Arg.(
+      value & opt int 1000
+      & info [ "queries" ] ~doc:"Number of queries to replay.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency" ] ~doc:"Concurrent client connections.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Seed for the query stream (the mixes are a \
+                              pure function of it).")
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Programs per query mix.")
+  in
+  let llc_config =
+    Arg.(
+      value & opt int 1
+      & info [ "config" ] ~doc:"LLC configuration, 1..6 (Table 2).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Fail (exit 1) if any response is an error or if two queries \
+             for the same mix got different bytes.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report (with histogram buckets) as JSON.")
+  in
+  let print_queries =
+    Arg.(
+      value & flag
+      & info [ "print-queries" ]
+          ~doc:
+            "Print the seeded query mixes (one comma-separated mix per \
+             line) instead of contacting the daemon, so the stream can be \
+             replayed through the one-shot CLI.")
+  in
+  let min_qps =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-qps" ]
+          ~doc:"Fail (exit 1) if sustained throughput falls below this.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay seeded prediction queries against a running mppmd and \
+          report latency quantiles and throughput.")
+    Term.(
+      const run $ endpoint_term $ queries $ concurrency $ seed $ cores
+      $ llc_config $ check $ json $ print_queries $ min_qps)
+
+let () =
+  try exit (Cmd.eval ~catch:false cmd) with
+  | Failure msg ->
+      prerr_endline msg;
+      exit 2
+  | Sys_error msg ->
+      prerr_endline ("loadgen: " ^ msg);
+      exit 2
+  | Unix.Unix_error (err, fn, _) ->
+      prerr_endline
+        (Printf.sprintf "loadgen: %s: %s" fn (Unix.error_message err));
+      exit 2
